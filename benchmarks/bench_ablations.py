@@ -1,0 +1,42 @@
+"""Ablation benchmarks for HunIPU's §IV design choices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import mapping_exchange_bytes, run_ablations
+from repro.core.solver import HunIPUSolver
+from repro.data.synthetic import gaussian_instance
+
+
+def test_compression_on(benchmark, scale):
+    instance = gaussian_instance(scale.ablation_size, 100, seed=0)
+    solver = HunIPUSolver()
+    solver.compiled_for(instance.size)
+    result = benchmark.pedantic(solver.solve, args=(instance,), rounds=1, iterations=1)
+    benchmark.extra_info["device_ms"] = result.device_time_s * 1e3
+
+
+def test_compression_off(benchmark, scale):
+    instance = gaussian_instance(scale.ablation_size, 100, seed=0)
+    solver = HunIPUSolver(use_compression=False)
+    solver.compiled_for(instance.size)
+    result = benchmark.pedantic(solver.solve, args=(instance,), rounds=1, iterations=1)
+    benchmark.extra_info["device_ms"] = result.device_time_s * 1e3
+
+
+@pytest.mark.parametrize("decomposition", ["1d", "2d"])
+def test_mapping_probe(benchmark, decomposition):
+    """Static exchange analysis of a per-row scan under each mapping."""
+    total = benchmark(mapping_exchange_bytes, 64, 16, decomposition)
+    benchmark.extra_info["exchange_bytes"] = total
+    if decomposition == "1d":
+        assert total == 0
+    else:
+        assert total > 0
+
+
+def test_report_ablations(benchmark, scale, save_report):
+    result = benchmark.pedantic(run_ablations, args=(scale,), rounds=1, iterations=1)
+    save_report("ablations", result.format())
+    assert len(result.tables) == 6

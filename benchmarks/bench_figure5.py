@@ -1,0 +1,51 @@
+"""Figure 5 benchmarks: FastHA (simulated A100) vs HunIPU (simulated Mk2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fastha import FastHASolver
+from repro.bench.figure5 import run_figure5
+from repro.core.solver import HunIPUSolver
+from repro.data.synthetic import gaussian_instance
+
+
+@pytest.fixture(scope="module")
+def hunipu():
+    return HunIPUSolver()
+
+
+@pytest.fixture(scope="module")
+def fastha():
+    return FastHASolver()
+
+
+def test_hunipu_midrange(benchmark, scale, hunipu):
+    n = scale.figure5_sizes[-1]
+    instance = gaussian_instance(n, 500, seed=0)
+    hunipu.compiled_for(n)
+    result = benchmark.pedantic(hunipu.solve, args=(instance,), rounds=1, iterations=1)
+    benchmark.extra_info["device_ms"] = result.device_time_s * 1e3
+
+
+def test_fastha_midrange(benchmark, scale, fastha):
+    n = scale.figure5_sizes[-1]
+    instance = gaussian_instance(n, 500, seed=0)
+    result = benchmark.pedantic(
+        fastha.solve_padded, args=(instance,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["device_ms"] = result.device_time_s * 1e3
+    benchmark.extra_info["kernel_launches"] = result.stats["kernel_launches"]
+
+
+def test_report_figure5(benchmark, scale, save_report):
+    """Regenerate every Figure 5 panel (runtime vs value range per size)."""
+    result = benchmark.pedantic(run_figure5, args=(scale,), rounds=1, iterations=1)
+    save_report("figure5", result.format())
+    fast = result.records_for("fastha")
+    ipu = result.records_for("hunipu")
+    speedups = [
+        f.device_time_s / i.device_time_s for f, i in zip(fast, ipu)
+    ]
+    benchmark.extra_info["avg_speedup"] = sum(speedups) / len(speedups)
+    assert all(s > 1.0 for s in speedups), "HunIPU must beat FastHA everywhere"

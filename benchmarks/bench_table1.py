@@ -1,0 +1,22 @@
+"""Table I benchmark: dataset stand-in generation (cheap, exact counts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.table1 import run_table1
+from repro.data.real import TABLE1_DATASETS, load_dataset
+
+
+@pytest.mark.parametrize("dataset", [s.name for s in TABLE1_DATASETS])
+def test_generate_dataset(benchmark, dataset):
+    graph = benchmark(load_dataset, dataset)
+    spec = next(s for s in TABLE1_DATASETS if s.name == dataset)
+    assert graph.number_of_nodes() == spec.nodes
+    assert graph.number_of_edges() == spec.edges
+
+
+def test_report_table1(benchmark, scale, save_report):
+    result = benchmark.pedantic(run_table1, args=(scale,), rounds=1, iterations=1)
+    save_report("table1", result.format())
+    assert any("OK" in note for note in result.shape_notes)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*.py`` module contains two kinds of benchmarks:
+
+* micro-benchmarks timing individual solver calls (what pytest-benchmark
+  measures: the *wall clock of the simulation*), and
+* one ``test_report_*`` per paper table/figure that runs the full harness,
+  prints the paper-layout table (run with ``-s`` to see it live), and saves
+  it under ``benchmarks/results/``.
+
+Grid sizes follow ``REPRO_BENCH_SCALE`` (quick / default / paper); see
+``repro.bench.recording``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.recording import BenchScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """The active benchmark scale (env-selected)."""
+    return BenchScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a harness report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

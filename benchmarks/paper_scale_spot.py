@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Paper-scale spot checks (the numbers recorded in EXPERIMENTS.md).
+
+Runs the largest routinely-feasible slices of the paper's grids:
+
+* Table II / Figure 5 at n = 512 (the paper's smallest size) across the
+  five value ranges, HunIPU vs CPU vs FastHA;
+* Table III at full dataset scale (HighSchool 327, Voles 712,
+  MultiMagna 1004) at 90 % kept edges, HunIPU vs padded FastHA.
+
+Expect ~10-15 minutes of simulation wall time.  Not a pytest module on
+purpose — run it directly:
+
+    python benchmarks/paper_scale_spot.py [--json OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.alignment import align_noisy_copy, noisy_copy
+from repro.baselines import CPUHungarianSolver, FastHASolver
+from repro.bench.paper_reference import PAPER_TABLE2_GAIN, PAPER_TABLE3_MS
+from repro.core import HunIPUSolver
+from repro.data import load_dataset
+from repro.data.synthetic import gaussian_instance
+
+
+def synthetic_spot(results: dict) -> None:
+    """n = 512 across value ranges: the Table II row + Figure 5 panel."""
+    hunipu, cpu, fastha = HunIPUSolver(), CPUHungarianSolver(), FastHASolver()
+    print("n = 512 (paper's smallest size), Gaussian data")
+    header = (
+        f"{'k':>7} {'HunIPU ms':>10} {'CPU ms':>9} {'FastHA ms':>10} "
+        f"{'gain':>6} {'paper':>7} {'speedup':>8}"
+    )
+    print(header)
+    for k in (1, 10, 100, 1000, 10000):
+        instance = gaussian_instance(512, k, seed=0)
+        ipu = hunipu.solve(instance)
+        serial = cpu.solve(instance)
+        gpu = fastha.solve(instance)
+        assert abs(ipu.total_cost - serial.total_cost) < 1e-5 * (
+            1 + abs(serial.total_cost)
+        )
+        gain = serial.device_time_s / ipu.device_time_s
+        speedup = gpu.device_time_s / ipu.device_time_s
+        paper = PAPER_TABLE2_GAIN.get((512, k), float("nan"))
+        print(
+            f"{k:>7} {ipu.device_time_s * 1e3:>10.1f} "
+            f"{serial.device_time_s * 1e3:>9.1f} "
+            f"{gpu.device_time_s * 1e3:>10.1f} {gain:>6.1f} {paper:>7.1f} "
+            f"{speedup:>8.2f}"
+        )
+        results[f"n512_k{k}"] = {
+            "hunipu_ms": ipu.device_time_s * 1e3,
+            "cpu_ms": serial.device_time_s * 1e3,
+            "fastha_ms": gpu.device_time_s * 1e3,
+            "gain_cpu": gain,
+            "speedup_fastha": speedup,
+            "paper_gain": paper,
+        }
+
+
+def alignment_spot(results: dict) -> None:
+    """Full-scale Table III at 90 % kept edges."""
+    hunipu, fastha = HunIPUSolver(), FastHASolver()
+    print("\nTable III at full dataset scale (90% kept edges)")
+    print(
+        f"{'dataset':<12} {'n':>5} {'HunIPU ms':>10} {'FastHA ms':>10} "
+        f"{'speedup':>8} {'paper speedup':>14}"
+    )
+    for name in ("HighSchool", "Voles", "MultiMagna"):
+        graph = load_dataset(name, scale=1.0)
+        noisy = noisy_copy(graph, 0.9, rng=17)
+        ipu, _ = align_noisy_copy(graph, noisy, hunipu)
+        gpu, _ = align_noisy_copy(graph, noisy, fastha, pad_power_of_two=True)
+        speedup = gpu.device_time_s / ipu.device_time_s
+        column = "90%" if name != "MultiMagna" else "Variant1"
+        paper_hunipu, paper_fastha = PAPER_TABLE3_MS[name][column]
+        print(
+            f"{name:<12} {graph.number_of_nodes():>5} "
+            f"{ipu.device_time_s * 1e3:>10.1f} {gpu.device_time_s * 1e3:>10.1f} "
+            f"{speedup:>8.1f} {paper_fastha / paper_hunipu:>14.1f}"
+        )
+        results[name] = {
+            "n": graph.number_of_nodes(),
+            "hunipu_ms": ipu.device_time_s * 1e3,
+            "fastha_ms": gpu.device_time_s * 1e3,
+            "fastha_padded": gpu.padded_size,
+            "speedup": speedup,
+        }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, help="also dump results as JSON")
+    parser.add_argument(
+        "--skip-alignment", action="store_true",
+        help="synthetic spot only (the alignment runs take the longest)",
+    )
+    args = parser.parse_args()
+    results: dict = {}
+    synthetic_spot(results)
+    if not args.skip_alignment:
+        alignment_spot(results)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=1)
+        print(f"\n[saved {args.json}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Breadth-first search on the simulated IPU.
+
+The paper's conclusion argues "IPUs are also amenable to algorithms beyond
+standard machine learning tasks" and cites IPU BFS traversals among the
+prior wins.  This example shows the substrate is not Hungarian-specific:
+a level-synchronous BFS written directly against `repro.ipu` — adjacency
+rows 1D-mapped over tiles (the same decomposition HunIPU uses), one
+frontier-expansion compute set per level, on-device termination via a
+RepeatWhileTrue on the frontier size.
+
+Run:  python examples/bfs_on_ipu.py [nodes] [tiles]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import networkx as nx
+import numpy as np
+
+from repro.ipu import (
+    ComputeGraph,
+    Engine,
+    Execute,
+    IPUSpec,
+    RepeatWhileTrue,
+    Sequence,
+    TileMapping,
+)
+from repro.ipu.codelets import Codelet, CostContext
+from repro.ipu.oplib import build_reduce
+from repro.ipu.oplib import ScalarCompare
+
+
+class FrontierExpand(Codelet):
+    """One tile's BFS relaxation: unvisited neighbours of frontier nodes.
+
+    Reads the (broadcast) global frontier and distance vectors, scans the
+    local adjacency rows, and proposes new distances for its own nodes.
+    """
+
+    fields = {
+        "adjacency": "in",
+        "frontier": "in",
+        "distance": "in",
+        "next_frontier": "out",
+    }
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        nodes = int(params["nodes"][0])
+        adjacency = views["adjacency"]
+        batch = adjacency.shape[0]
+        rows = adjacency.shape[1] // nodes
+        local = adjacency.reshape(batch, rows, nodes)
+        frontier = views["frontier"][0].astype(bool)
+        distance = views["distance"]  # (batch, rows): local slice
+        reachable = (local & frontier[None, None, :]).any(axis=2)
+        fresh = reachable & (distance < 0)
+        views["next_frontier"][...] = fresh
+        edges_scanned = local.sum(axis=(1, 2))
+        return np.ceil(
+            (edges_scanned + rows) * cost.cycles_per_alu_op / cost.threads_per_tile
+        )
+
+
+class AdoptFrontier(Codelet):
+    """Commit the proposed frontier: set distances, roll the level."""
+
+    fields = {
+        "next_frontier": "in",
+        "distance": "inout",
+        "frontier_out": "out",
+        "level": "in",
+    }
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        fresh = views["next_frontier"].astype(bool)
+        level = int(views["level"][0, 0])
+        distance = views["distance"]
+        distance[fresh] = level
+        views["frontier_out"][...] = fresh
+        return np.full(fresh.shape[0], float(fresh.shape[1]))
+
+
+class BumpLevel(Codelet):
+    fields = {"level": "inout"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        views["level"][:, 0] += 1
+        return np.ones(views["level"].shape[0])
+
+
+def bfs_on_ipu(graph: nx.Graph, source: int, num_tiles: int = 8):
+    """Level-synchronous BFS; returns (distances, profile report)."""
+    nodes = graph.number_of_nodes()
+    spec = IPUSpec.toy(num_tiles=num_tiles)
+    adjacency = nx.to_numpy_array(graph, nodelist=range(nodes), dtype=np.int8)
+
+    cg = ComputeGraph(spec)
+    tiles = min(num_tiles, nodes)
+    while nodes % tiles:
+        tiles -= 1
+    rows_per_tile = nodes // tiles
+    adj = cg.add_tensor(
+        "adjacency", (nodes, nodes), np.int8,
+        mapping=TileMapping.row_blocks((nodes, nodes), range(tiles)),
+    )
+    row_map = TileMapping.row_blocks((nodes, 1), range(tiles))
+    distance = cg.add_tensor("distance", (nodes,), np.int32, mapping=row_map)
+    frontier = cg.add_tensor("frontier", (nodes,), np.int8, mapping=row_map)
+    proposed = cg.add_tensor("proposed", (nodes,), np.int8, mapping=row_map)
+    level = cg.add_scalar("level")
+    frontier_size = cg.add_scalar("frontier_size")
+    keep_going = cg.add_scalar("keep_going")
+
+    expand = cg.add_compute_set("bfs/expand")
+    adopt = cg.add_compute_set("bfs/adopt")
+    expand_codelet, adopt_codelet = FrontierExpand(), AdoptFrontier()
+    for index in range(tiles):
+        start, stop = index * rows_per_tile, (index + 1) * rows_per_tile
+        expand.add_vertex(
+            expand_codelet,
+            index,
+            {
+                "adjacency": ComputeGraph.rows(adj, start, stop),
+                "frontier": ComputeGraph.full(frontier),
+                "distance": ComputeGraph.span(distance, start, stop),
+                "next_frontier": ComputeGraph.span(proposed, start, stop),
+            },
+            params={"nodes": nodes},
+        )
+        adopt.add_vertex(
+            adopt_codelet,
+            index,
+            {
+                "next_frontier": ComputeGraph.span(proposed, start, stop),
+                "distance": ComputeGraph.span(distance, start, stop),
+                "frontier_out": ComputeGraph.span(frontier, start, stop),
+                "level": ComputeGraph.full(level),
+            },
+        )
+    bump = cg.add_compute_set("bfs/bump")
+    bump.add_vertex(BumpLevel(), 0, {"level": ComputeGraph.full(level)})
+    count = build_reduce(cg, frontier, "sum", frontier_size, "bfs/frontier_size")
+    check = cg.add_compute_set("bfs/check")
+    check.add_vertex(
+        ScalarCompare("gt", 0),
+        0,
+        {"a": ComputeGraph.full(frontier_size), "flag": ComputeGraph.full(keep_going)},
+    )
+    body = Sequence(
+        Execute(expand), Execute(adopt), Execute(bump), count, Execute(check)
+    )
+    program = Sequence(count, Execute(check), RepeatWhileTrue(keep_going, body))
+    engine = Engine(cg, program)
+
+    adj.write_host(adjacency)
+    distance.write_host(-1)
+    distances_init = np.full(nodes, -1, dtype=np.int32)
+    distances_init[source] = 0
+    distance.write_host(distances_init)
+    frontier_init = np.zeros(nodes, dtype=np.int8)
+    frontier_init[source] = 1
+    frontier.write_host(frontier_init)
+    level.write_host(1)
+    report = engine.run()
+    return distance.read_host(), report
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    tiles = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    graph = nx.connected_watts_strogatz_graph(nodes, 6, 0.15, seed=3)
+    distances, report = bfs_on_ipu(graph, source=0, num_tiles=tiles)
+    expected = nx.single_source_shortest_path_length(graph, 0)
+    matches = all(distances[node] == hops for node, hops in expected.items())
+    print(f"BFS over {nodes} nodes on {tiles} simulated tiles")
+    print(f"  distances match networkx : {matches}")
+    print(f"  eccentricity from source : {distances.max()}")
+    print(f"  BSP supersteps           : {report.supersteps}")
+    print(f"  modeled device time      : {report.device_seconds * 1e6:.2f} us")
+    if not matches:
+        raise SystemExit("BFS mismatch — this is a bug")
+
+
+if __name__ == "__main__":
+    main()

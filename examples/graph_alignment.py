@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Graph alignment end to end — the paper's use case (§V-C).
+
+Loads a (stand-in) real-world network, builds a noisy copy with shuffled
+labels, computes the GRAMPA similarity matrix, and recovers the hidden node
+correspondence with three Hungarian solvers: HunIPU on the simulated IPU,
+FastHA on the simulated A100 (with the paper's 2^m zero-padding), and the
+CPU LAPJV solver.  Prints Table-III-style runtimes plus alignment accuracy.
+
+Run:  python examples/graph_alignment.py [dataset] [scale] [retention]
+      e.g. python examples/graph_alignment.py HighSchool 0.25 0.95
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FastHASolver, HunIPUSolver, LAPJVSolver
+from repro.alignment import align_noisy_copy, noisy_copy
+from repro.data import load_dataset
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "HighSchool"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    retention = float(sys.argv[3]) if len(sys.argv) > 3 else 0.95
+
+    graph = load_dataset(dataset, scale=scale)
+    print(
+        f"{dataset} stand-in at scale {scale}: "
+        f"{graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges"
+    )
+    noisy = noisy_copy(graph, retention, rng=17)
+    print(
+        f"noisy copy keeps {noisy.kept_edges}/{noisy.original_edges} edges "
+        f"({retention:.0%}), labels shuffled\n"
+    )
+
+    runs = [
+        ("HunIPU (simulated Mk2 IPU)", HunIPUSolver(), False),
+        ("FastHA (simulated A100, 2^m-padded)", FastHASolver(), True),
+        ("LAPJV (host CPU)", LAPJVSolver(), False),
+    ]
+    print(f"{'solver':<38} {'LAP size':>8} {'device ms':>10} {'accuracy':>9}")
+    for label, solver, padded in runs:
+        result, accuracy = align_noisy_copy(
+            graph, noisy, solver, pad_power_of_two=padded
+        )
+        device = result.device_time_s
+        device_text = f"{device * 1e3:.2f}" if device is not None else "host"
+        print(
+            f"{label:<38} {result.padded_size:>8} {device_text:>10} "
+            f"{accuracy:>9.3f}"
+        )
+    print(
+        "\nAll solvers solve the same LAP optimally, so accuracies match; "
+        "what differs is the modeled Hungarian runtime (Table III's metric)."
+    )
+
+
+if __name__ == "__main__":
+    main()

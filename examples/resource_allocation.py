@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Resource allocation: assigning jobs to workers at minimum total cost.
+
+The paper's introduction motivates the Hungarian algorithm with resource
+allocation (e.g. multi-user channel loading).  This example builds a
+synthetic scheduling scenario — workers with heterogeneous speeds, jobs
+with heterogeneous demands, cost = completion time — solves it with
+HunIPU, and contrasts the optimal assignment with the greedy heuristic a
+practitioner might reach for first.
+
+Run:  python examples/resource_allocation.py [num_workers]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import HunIPUSolver, LAPInstance
+
+
+def build_costs(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Completion-time matrix: job demand divided by worker speed, plus a
+    setup cost when worker and job are in different zones."""
+    speeds = rng.uniform(0.5, 2.0, size)  # per worker
+    demands = rng.uniform(1.0, 10.0, size)  # per job
+    worker_zone = rng.integers(0, 4, size)
+    job_zone = rng.integers(0, 4, size)
+    base = demands[None, :] / speeds[:, None]
+    transfer = 3.0 * (worker_zone[:, None] != job_zone[None, :])
+    return base + transfer
+
+
+def greedy_total(costs: np.ndarray) -> float:
+    """Row-by-row greedy baseline: each worker takes its cheapest free job."""
+    taken = np.zeros(costs.shape[1], dtype=bool)
+    total = 0.0
+    for row in range(costs.shape[0]):
+        free = np.flatnonzero(~taken)
+        pick = free[np.argmin(costs[row, free])]
+        taken[pick] = True
+        total += costs[row, pick]
+    return total
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    rng = np.random.default_rng(7)
+    costs = build_costs(size, rng)
+    instance = LAPInstance(costs, name="resource-allocation")
+
+    result = HunIPUSolver().solve(instance)
+    greedy = greedy_total(costs)
+
+    print(f"{size} workers x {size} jobs (completion-time costs)")
+    print(f"  greedy total completion time : {greedy:10.3f}")
+    print(f"  optimal (HunIPU) total       : {result.total_cost:10.3f}")
+    saving = (greedy - result.total_cost) / greedy
+    print(f"  saving over greedy           : {saving:10.1%}")
+    print(f"  modeled IPU time             : {result.device_time_s * 1e3:.3f} ms")
+
+    loads = costs[np.arange(size), result.assignment]
+    print(f"  busiest worker finishes at   : {loads.max():10.3f}")
+    print(f"  idlest worker finishes at    : {loads.min():10.3f}")
+    assert result.total_cost <= greedy + 1e-9, "optimal cannot lose to greedy"
+
+
+if __name__ == "__main__":
+    main()

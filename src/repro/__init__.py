@@ -1,0 +1,34 @@
+"""HunIPU reproduction: the Hungarian algorithm on a simulated Graphcore IPU.
+
+Public API highlights:
+
+* :class:`repro.core.HunIPUSolver` — the paper's contribution;
+* :class:`repro.baselines.CPUHungarianSolver`,
+  :class:`repro.baselines.FastHASolver` — the paper's baselines;
+* :mod:`repro.lap` — problem/result/certificate types;
+* :mod:`repro.ipu` / :mod:`repro.gpu` — the simulated hardware substrates;
+* :mod:`repro.alignment` — the GRAMPA graph-alignment use case;
+* :mod:`repro.bench` — harnesses regenerating every table and figure.
+"""
+
+from repro.baselines import (
+    CPUHungarianSolver,
+    FastHASolver,
+    LAPJVSolver,
+    ScipySolver,
+)
+from repro.core import HunIPUSolver
+from repro.lap import AssignmentResult, LAPInstance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HunIPUSolver",
+    "CPUHungarianSolver",
+    "FastHASolver",
+    "LAPJVSolver",
+    "ScipySolver",
+    "AssignmentResult",
+    "LAPInstance",
+    "__version__",
+]

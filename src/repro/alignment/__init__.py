@@ -1,0 +1,25 @@
+"""Graph alignment use case: GRAMPA similarity + Hungarian matching (§V-C)."""
+
+from repro.alignment.evaluation import edge_correctness, node_correctness
+from repro.alignment.grampa import DEFAULT_ETA, adjacency_matrix, grampa_similarity
+from repro.alignment.noise import NoisyCopy, noisy_copy
+from repro.alignment.pipeline import (
+    AlignmentResult,
+    LSAPSolver,
+    align,
+    align_noisy_copy,
+)
+
+__all__ = [
+    "edge_correctness",
+    "node_correctness",
+    "DEFAULT_ETA",
+    "adjacency_matrix",
+    "grampa_similarity",
+    "NoisyCopy",
+    "noisy_copy",
+    "AlignmentResult",
+    "LSAPSolver",
+    "align",
+    "align_noisy_copy",
+]

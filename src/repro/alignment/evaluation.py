@@ -1,0 +1,37 @@
+"""Alignment quality metrics."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["node_correctness", "edge_correctness"]
+
+
+def node_correctness(mapping: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of nodes mapped to their ground-truth counterpart."""
+    mapping = np.asarray(mapping)
+    truth = np.asarray(truth)
+    if mapping.shape != truth.shape:
+        raise InvalidProblemError(
+            f"mapping shape {mapping.shape} != truth shape {truth.shape}"
+        )
+    if mapping.size == 0:
+        return 1.0
+    return float((mapping == truth).mean())
+
+
+def edge_correctness(
+    source: nx.Graph, target: nx.Graph, mapping: np.ndarray
+) -> float:
+    """Fraction of source edges preserved by the mapping in the target."""
+    mapping = np.asarray(mapping)
+    edges = source.number_of_edges()
+    if edges == 0:
+        return 1.0
+    preserved = sum(
+        target.has_edge(int(mapping[u]), int(mapping[v])) for u, v in source.edges
+    )
+    return preserved / edges

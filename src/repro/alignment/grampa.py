@@ -1,0 +1,75 @@
+"""GRAMPA spectral similarity (Fan, Mao, Wu & Xu 2019), §V-C.
+
+GRAMPA builds a node-similarity matrix from two adjacency spectra::
+
+    X = Σ_{i,j}  w(λ_i, μ_j) · u_i u_iᵀ J v_j v_jᵀ,
+    w(λ, μ) = 1 / ((λ − μ)² + η²)
+
+where ``A = U diag(λ) Uᵀ``, ``B = V diag(μ) Vᵀ`` and ``J`` is the all-ones
+matrix.  Computed efficiently as ``X = U (W ∘ (Uᵀ J V)) Vᵀ`` with
+``W_ij = w(λ_i, μ_j)``.  The paper feeds this similarity to the Hungarian
+algorithm (maximizing similarity ⇒ minimizing ``max(X) − X``) and uses the
+recommended default ``η = 0.2``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["DEFAULT_ETA", "grampa_similarity", "adjacency_matrix"]
+
+#: The paper sets GRAMPA's hyper-parameter to the recommended 0.2 (§V-C).
+DEFAULT_ETA = 0.2
+
+
+def adjacency_matrix(graph: nx.Graph) -> np.ndarray:
+    """Dense symmetric 0/1 adjacency with nodes in sorted label order."""
+    nodes = sorted(graph.nodes)
+    return nx.to_numpy_array(graph, nodelist=nodes, dtype=np.float64)
+
+
+def grampa_similarity(
+    a: np.ndarray | nx.Graph,
+    b: np.ndarray | nx.Graph,
+    *,
+    eta: float = DEFAULT_ETA,
+) -> np.ndarray:
+    """GRAMPA similarity matrix between two graphs of equal size.
+
+    Parameters
+    ----------
+    a, b:
+        Adjacency matrices (symmetric) or graphs.
+    eta:
+        Spectral-smoothing hyper-parameter η > 0.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` similarity; entry ``(i, j)`` scores matching node *i* of
+        the first graph to node *j* of the second.
+    """
+    if eta <= 0:
+        raise InvalidProblemError(f"GRAMPA eta must be positive, got {eta}")
+    first = adjacency_matrix(a) if isinstance(a, nx.Graph) else np.asarray(a, float)
+    second = adjacency_matrix(b) if isinstance(b, nx.Graph) else np.asarray(b, float)
+    if first.shape != second.shape or first.ndim != 2:
+        raise InvalidProblemError(
+            f"adjacency shapes differ: {first.shape} vs {second.shape}"
+        )
+    if first.shape[0] != first.shape[1]:
+        raise InvalidProblemError("adjacency matrices must be square")
+    if not np.allclose(first, first.T) or not np.allclose(second, second.T):
+        raise InvalidProblemError("GRAMPA requires symmetric adjacency matrices")
+    n = first.shape[0]
+    lam, u = np.linalg.eigh(first)
+    mu, v = np.linalg.eigh(second)
+    weights = 1.0 / (np.subtract.outer(lam, mu) ** 2 + eta * eta)
+    # UᵀJV = (Uᵀ1)(1ᵀV): rank one, no n³ intermediate needed.
+    left = u.sum(axis=0)  # Uᵀ 1
+    right = v.sum(axis=0)  # Vᵀ 1
+    middle = weights * np.outer(left, right)
+    return u @ middle @ v.T

@@ -1,0 +1,33 @@
+"""Baseline LSAP solvers: the paper's CPU and GPU competitors + oracles."""
+
+from repro.baselines.cpu_hungarian import CPUHungarianSolver, CPUSpec
+from repro.baselines.cpu_lapjv import LAPJVSolver, solve_lapjv
+from repro.baselines.date_nagi import DateNagiCostObserver, DateNagiSolver
+from repro.baselines.fastha import FastHACostObserver, FastHASolver
+from repro.baselines.fastha_kernels import FastHAKernelSolver
+from repro.baselines.munkres_reference import (
+    MunkresObserver,
+    MunkresOutcome,
+    OpCounter,
+    solve_munkres,
+    zero_tolerance,
+)
+from repro.baselines.scipy_reference import ScipySolver
+
+__all__ = [
+    "CPUHungarianSolver",
+    "CPUSpec",
+    "LAPJVSolver",
+    "solve_lapjv",
+    "DateNagiCostObserver",
+    "DateNagiSolver",
+    "FastHACostObserver",
+    "FastHASolver",
+    "FastHAKernelSolver",
+    "MunkresObserver",
+    "MunkresOutcome",
+    "OpCounter",
+    "solve_munkres",
+    "zero_tolerance",
+    "ScipySolver",
+]

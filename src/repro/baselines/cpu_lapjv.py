@@ -1,0 +1,108 @@
+"""Jonker–Volgenant-style shortest-augmenting-path LSAP solver.
+
+A second, genuinely fast CPU implementation (O(n³) with small constants),
+included because "fast CPU implementation" (§V) is otherwise ambiguous: it
+lets the benchmark harness show how the cover-based Munkres and the
+potential-based JV family compare on the same inputs, and it doubles as an
+extra differential oracle that shares no code with the reference solver.
+
+The implementation is the classic potential-based augmentation (as
+popularized by the e-maxx/cp-algorithms formulation): rows are inserted one
+at a time; a Dijkstra-like sweep over columns (with a virtual column holding
+the entering row) finds the shortest augmenting path in the reduced-cost
+graph, potentials ``(u, v)`` are updated to keep reduced costs non-negative,
+and the path is flipped.  The explicit potentials double as a dual
+optimality certificate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lap.problem import LAPInstance
+from repro.lap.result import AssignmentResult
+
+__all__ = ["solve_lapjv", "LAPJVSolver"]
+
+
+def solve_lapjv(costs: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Solve one square LSAP; returns ``(assignment, u, v)``.
+
+    ``assignment[i]`` is the column matched to row ``i``; ``(u, v)`` are
+    feasible dual potentials tight on the matching (the optimality
+    certificate), satisfying ``u[i] + v[j] <= costs[i, j]``.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 2 or costs.shape[0] != costs.shape[1]:
+        raise SolverError(f"costs must be square, got shape {costs.shape}")
+    n = costs.shape[0]
+    # Index 0 is a virtual column; real columns are 1..n.  ``row_of_col[j]``
+    # is the (1-based) row matched to column j, 0 when free.
+    u = np.zeros(n + 1, dtype=np.float64)
+    v = np.zeros(n + 1, dtype=np.float64)
+    row_of_col = np.zeros(n + 1, dtype=np.int64)
+    way = np.zeros(n + 1, dtype=np.int64)
+
+    for row in range(1, n + 1):
+        row_of_col[0] = row
+        current_col = 0
+        min_slack = np.full(n + 1, np.inf, dtype=np.float64)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[current_col] = True
+            active_row = int(row_of_col[current_col])
+            free = ~used
+            free[0] = False
+            free_cols = np.flatnonzero(free)
+            reduced = (
+                costs[active_row - 1, free_cols - 1]
+                - u[active_row]
+                - v[free_cols]
+            )
+            improved = reduced < min_slack[free_cols]
+            min_slack[free_cols[improved]] = reduced[improved]
+            way[free_cols[improved]] = current_col
+            best_index = int(np.argmin(min_slack[free_cols]))
+            next_col = int(free_cols[best_index])
+            delta = float(min_slack[next_col])
+            # Shift potentials: tree columns/rows absorb delta, the rest of
+            # the slacks shrink by it.
+            u[row_of_col[used]] += delta
+            v[used] -= delta
+            min_slack[free] -= delta
+            current_col = next_col
+            if row_of_col[current_col] == 0:
+                break
+        # Augment along the recorded ``way`` pointers.
+        while current_col != 0:
+            previous_col = int(way[current_col])
+            row_of_col[current_col] = row_of_col[previous_col]
+            current_col = previous_col
+
+    assignment = np.empty(n, dtype=np.int64)
+    assignment[row_of_col[1:] - 1] = np.arange(n)
+    return assignment, u[1:], v[1:]
+
+
+class LAPJVSolver:
+    """Solver facade for :func:`solve_lapjv` with wall-clock bookkeeping."""
+
+    name = "cpu-lapjv"
+
+    def solve(self, instance: LAPInstance) -> AssignmentResult:
+        """Solve ``instance``; no device model (``device_time_s=None``)."""
+        started = time.perf_counter()
+        assignment, u, v = solve_lapjv(instance.costs)
+        wall = time.perf_counter() - started
+        return AssignmentResult(
+            assignment=assignment,
+            total_cost=instance.total_cost(assignment),
+            solver=self.name,
+            device_time_s=None,
+            wall_time_s=wall,
+            iterations=instance.size,
+            stats={"dual_u": u, "dual_v": v},
+        )

@@ -1,0 +1,23 @@
+"""Experiment harnesses: one module per paper table/figure + ablations."""
+
+from repro.bench.ablations import run_ablations
+from repro.bench.figure5 import run_figure5
+from repro.bench.harness import ExperimentResult, format_grid, format_records
+from repro.bench.recording import BenchScale, RunRecord, environment_summary
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import run_table2
+from repro.bench.table3 import run_table3
+
+__all__ = [
+    "run_ablations",
+    "run_figure5",
+    "ExperimentResult",
+    "format_grid",
+    "format_records",
+    "BenchScale",
+    "RunRecord",
+    "environment_summary",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

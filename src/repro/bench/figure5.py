@@ -1,0 +1,131 @@
+"""Figure 5 — runtime of FastHA vs HunIPU across sizes and value ranges.
+
+One panel per matrix size; each panel plots the two solvers' runtimes at
+value ranges 10n, 500n and 5000n on Gaussian data.  Expected shape (§V-B):
+HunIPU below FastHA everywhere, an average speedup around 6× (range
+3–11×), both growing with n.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fastha import FastHASolver
+from repro.bench.harness import ExperimentResult, format_grid
+from repro.bench.plotting import ascii_panel
+from repro.bench.recording import BenchScale, RunRecord
+from repro.core.solver import HunIPUSolver
+from repro.data.synthetic import gaussian_instance, uniform_instance
+from repro.errors import InvalidProblemError
+
+__all__ = ["run_figure5"]
+
+_GENERATORS = {"gaussian": gaussian_instance, "uniform": uniform_instance}
+
+
+def run_figure5(
+    scale: BenchScale | None = None,
+    *,
+    seed: int = 0,
+    distribution: str = "gaussian",
+) -> ExperimentResult:
+    """Run the Figure 5 grid; one formatted panel per matrix size.
+
+    ``distribution="uniform"`` covers the paper's "similar speedup with
+    uniformly [distributed] data" remark (§V-B).
+    """
+    scale = scale if scale is not None else BenchScale.from_env()
+    if distribution not in _GENERATORS:
+        raise InvalidProblemError(
+            f"unknown distribution {distribution!r}; pick gaussian or uniform"
+        )
+    generate = _GENERATORS[distribution]
+    hunipu = HunIPUSolver()
+    fastha = FastHASolver()
+    records: list[RunRecord] = []
+    times: dict[tuple[str, int, int], float] = {}
+    for size in scale.figure5_sizes:
+        for k in scale.figure5_k:
+            instance = generate(size, k, seed=seed)
+            fast_result = fastha.solve_padded(instance)
+            ipu_result = hunipu.solve(instance)
+            params = {"n": size, "k": k}
+            records.append(
+                RunRecord(
+                    "figure5", fastha.name, params, fast_result.device_time_s,
+                    fast_result.wall_time_s,
+                    extra={"kernel_launches": fast_result.stats["kernel_launches"]},
+                )
+            )
+            records.append(
+                RunRecord(
+                    "figure5", hunipu.name, params, ipu_result.device_time_s,
+                    ipu_result.wall_time_s,
+                )
+            )
+            times[("FastHA", size, k)] = fast_result.device_time_s * 1e3
+            times[("HunIPU", size, k)] = ipu_result.device_time_s * 1e3
+
+    panels = []
+    for size in scale.figure5_sizes:
+        panels.append(
+            ascii_panel(
+                f"Figure 5 (rendered) n={size}: runtime (ms) vs value range",
+                [f"{k}n" for k in scale.figure5_k],
+                {
+                    "FastHA": [times[("FastHA", size, k)] for k in scale.figure5_k],
+                    "HunIPU": [times[("HunIPU", size, k)] for k in scale.figure5_k],
+                },
+            )
+        )
+        panels.append(
+            format_grid(
+                f"Figure 5 panel n={size}: runtime (ms) vs value range",
+                ["FastHA", "HunIPU", "speedup"],
+                [f"{k}n" for k in scale.figure5_k],
+                {
+                    **{
+                        (solver, f"{k}n"): times[(solver, size, k)]
+                        for solver in ("FastHA", "HunIPU")
+                        for k in scale.figure5_k
+                    },
+                    **{
+                        ("speedup", f"{k}n"): times[("FastHA", size, k)]
+                        / times[("HunIPU", size, k)]
+                        for k in scale.figure5_k
+                    },
+                },
+                row_header="series",
+                width=12,
+            )
+        )
+    notes = _shape_notes(scale, times)
+    return ExperimentResult(
+        "figure5", scale.name, tuple(records), tuple(panels), notes
+    )
+
+
+def _shape_notes(
+    scale: BenchScale, times: dict[tuple[str, int, int], float]
+) -> tuple[str, ...]:
+    speedups = [
+        times[("FastHA", n, k)] / times[("HunIPU", n, k)]
+        for n in scale.figure5_sizes
+        for k in scale.figure5_k
+    ]
+    lo, hi = min(speedups), max(speedups)
+    avg = sum(speedups) / len(speedups)
+    dominated = all(s > 1.0 for s in speedups)
+    notes = [
+        f"HunIPU faster than FastHA in every cell ({'OK' if dominated else 'CHECK'})",
+        f"speedup range {lo:.1f}x–{hi:.1f}x, average {avg:.1f}x "
+        f"(paper: 3x–11x, average 6x)",
+    ]
+    both_grow = all(
+        times[("HunIPU", a, k)] <= times[("HunIPU", b, k)]
+        and times[("FastHA", a, k)] <= times[("FastHA", b, k)]
+        for a, b in zip(scale.figure5_sizes, scale.figure5_sizes[1:])
+        for k in scale.figure5_k
+    )
+    notes.append(
+        f"both runtimes grow with n ({'OK' if both_grow else 'CHECK'})"
+    )
+    return tuple(notes)

@@ -1,0 +1,85 @@
+"""Table/series formatting shared by all experiment harnesses.
+
+Each ``repro.bench.tableN`` / ``figure5`` module produces an
+:class:`ExperimentResult` whose ``format()`` prints rows in the paper's own
+layout, so a side-by-side comparison with the PDF is a diff, not a hunt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.bench.recording import RunRecord
+
+__all__ = ["ExperimentResult", "format_grid", "format_records"]
+
+
+def format_grid(
+    title: str,
+    row_labels: Sequence[Any],
+    col_labels: Sequence[Any],
+    values: Mapping[tuple[Any, Any], float | None],
+    *,
+    fmt: Callable[[float], str] = lambda v: f"{v:.2f}",
+    row_header: str = "",
+    width: int = 10,
+) -> str:
+    """Render a labelled 2-D grid (the paper's table layout)."""
+    label_width = max(
+        [len(row_header)] + [len(str(row)) for row in row_labels]
+    ) + 2
+    lines = [title]
+    header = f"{row_header:<{label_width}}" + "".join(
+        f"{str(c):>{width}}" for c in col_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in row_labels:
+        cells = []
+        for col in col_labels:
+            value = values.get((row, col))
+            cells.append(
+                f"{'-':>{width}}" if value is None else f"{fmt(value):>{width}}"
+            )
+        lines.append(f"{str(row):<{label_width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_records(records: Sequence[RunRecord]) -> str:
+    """Flat listing of run records (debugging / logs)."""
+    lines = [
+        f"{'experiment':<12} {'solver':<12} {'params':<40} {'device ms':>10} {'wall s':>8}"
+    ]
+    for record in records:
+        params = ",".join(f"{k}={v}" for k, v in record.params.items())
+        device = "-" if record.device_ms is None else f"{record.device_ms:.3f}"
+        lines.append(
+            f"{record.experiment:<12} {record.solver:<12} {params:<40} "
+            f"{device:>10} {record.wall_time_s:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one experiment harness measured."""
+
+    experiment: str
+    scale: str
+    records: tuple[RunRecord, ...]
+    tables: tuple[str, ...]
+    shape_notes: tuple[str, ...] = ()
+
+    def format(self) -> str:
+        """The printable report (paper-layout tables + shape notes)."""
+        parts = [f"== {self.experiment} (scale={self.scale}) =="]
+        parts.extend(self.tables)
+        if self.shape_notes:
+            notes = "\n".join(f"  - {note}" for note in self.shape_notes)
+            parts.append(f"shape checks:\n{notes}")
+        return "\n\n".join(parts)
+
+    def records_for(self, solver: str) -> tuple[RunRecord, ...]:
+        """All records from one solver."""
+        return tuple(r for r in self.records if r.solver == solver)

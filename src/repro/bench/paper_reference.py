@@ -1,0 +1,86 @@
+"""The paper's published numbers, transcribed for programmatic comparison.
+
+Having Tables II/III and Figure 5's claims as data lets harnesses and
+tests compare *shapes* mechanically instead of by eyeball: monotonicity in
+n, the k-plateau, who wins where, and the claimed speedup bands.  All
+values are verbatim from the paper (ICDE 2024).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE2_GAIN",
+    "PAPER_TABLE3_MS",
+    "PAPER_FIGURE5_SPEEDUP_RANGE",
+    "PAPER_FIGURE5_SPEEDUP_AVG",
+    "PAPER_TABLE3_SPEEDUP_RANGE",
+    "table2_gain",
+    "table3_speedups",
+]
+
+#: Table II — runtime gain of HunIPU over the CPU Hungarian, Gaussian data.
+#: Keyed by (n, k); the paper's columns are 1n 10n 100n 500n 1000n 5000n 10000n.
+PAPER_TABLE2_GAIN: dict[tuple[int, int], float] = {
+    (512, 1): 22.49, (512, 10): 51.86, (512, 100): 56.73, (512, 500): 60.33,
+    (512, 1000): 64.00, (512, 5000): 52.59, (512, 10000): 60.21,
+    (1024, 1): 56.28, (1024, 10): 141.79, (1024, 100): 198.65,
+    (1024, 500): 194.21, (1024, 1000): 188.68, (1024, 5000): 188.62,
+    (1024, 10000): 204.61,
+    (2048, 1): 89.46, (2048, 10): 418.82, (2048, 100): 525.62,
+    (2048, 500): 567.65, (2048, 1000): 596.71, (2048, 5000): 531.35,
+    (2048, 10000): 578.33,
+    (4096, 1): 42.61, (4096, 10): 927.48, (4096, 100): 1200.23,
+    (4096, 500): 1186.28, (4096, 1000): 1155.45, (4096, 5000): 1222.59,
+    (4096, 10000): 1051.89,
+    (8192, 1): 76.19, (8192, 10): 1870.44, (8192, 100): 2902.6,
+    (8192, 500): 2761.65, (8192, 1000): 2871.69, (8192, 5000): 2880.34,
+    (8192, 10000): 3041.57,
+}
+
+#: Table III — Hungarian runtime in ms on the real graph-alignment data.
+#: {dataset: {column: (hunipu_ms, fastha_ms)}}.
+PAPER_TABLE3_MS: dict[str, dict[str, tuple[float, float]]] = {
+    "HighSchool": {
+        "80%": (68.32, 1258.39),
+        "90%": (68.80, 1243.34),
+        "95%": (55.69, 1103.90),
+        "99%": (97.73, 2541.52),
+    },
+    "Voles": {
+        "80%": (419.79, 13251.8),
+        "90%": (332.01, 10834.5),
+        "95%": (307.96, 8722.55),
+        "99%": (322.05, 9896.91),
+    },
+    "MultiMagna": {
+        "Variant1": (285.26, 1658.74),
+        "Variant2": (382.87, 2024.22),
+        "Variant3": (430.44, 2246.89),
+        "Variant4": (417.42, 2407.45),
+        "Variant5": (422.92, 2461.41),
+    },
+}
+
+#: Figure 5 / §V-B: "The improvement ranges from 3x to 11x with average
+#: speedup of 6x".
+PAPER_FIGURE5_SPEEDUP_RANGE: tuple[float, float] = (3.0, 11.0)
+PAPER_FIGURE5_SPEEDUP_AVG: float = 6.0
+
+#: §V-C: "achieving 5x to 32x speedup" on the real datasets.
+PAPER_TABLE3_SPEEDUP_RANGE: tuple[float, float] = (5.0, 32.0)
+
+
+def table2_gain(n: int, k: int) -> float:
+    """One published Table II cell (KeyError for off-grid requests)."""
+    return PAPER_TABLE2_GAIN[(n, k)]
+
+
+def table3_speedups() -> dict[str, dict[str, float]]:
+    """FastHA/HunIPU ratios implied by the published Table III cells."""
+    return {
+        dataset: {
+            column: fastha / hunipu
+            for column, (hunipu, fastha) in cells.items()
+        }
+        for dataset, cells in PAPER_TABLE3_MS.items()
+    }

@@ -1,0 +1,103 @@
+"""Terminal plotting for the figure reproductions.
+
+The paper's Figure 5 is a set of line panels (runtime vs. value range, one
+line per solver).  :func:`ascii_panel` renders the same series as a
+terminal chart so the benchmark output *is* the figure, not just its
+numbers — useful when eyeballing whether the curves keep the paper's
+separation and growth.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_panel", "ascii_bars"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_panel(
+    title: str,
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width_per_point: int = 12,
+    y_label: str = "ms",
+) -> str:
+    """Render one multi-series panel as ASCII art.
+
+    Parameters
+    ----------
+    title:
+        Panel caption (printed above the chart).
+    x_labels:
+        Tick labels, one per data point.
+    series:
+        Name -> y-values (all the same length as ``x_labels``).
+    height:
+        Chart rows (y resolution).
+    width_per_point:
+        Horizontal spacing per x position.
+    y_label:
+        Unit label for the y axis.
+    """
+    if not series:
+        raise ValueError("ascii_panel needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must have one value per x label")
+    all_values = [value for values in series.values() for value in values]
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = (top - bottom) or 1.0
+
+    columns = len(x_labels)
+    grid_width = columns * width_per_point
+    grid = [[" "] * grid_width for _ in range(height)]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for column, value in enumerate(values):
+            row = height - 1 - int((value - bottom) / span * (height - 1))
+            x = column * width_per_point + width_per_point // 2
+            grid[row][x] = marker
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{top:10.1f} |"
+        elif row_index == height - 1:
+            label = f"{bottom:10.1f} |"
+        else:
+            label = f"{'':10} |"
+        lines.append(label + "".join(row))
+    lines.append(f"{'':10} +" + "-" * grid_width)
+    ticks = "".join(f"{label:^{width_per_point}}" for label in x_labels)
+    lines.append(f"{y_label:>10}  " + ticks)
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}"
+        for index, name in enumerate(sorted(series))
+    )
+    lines.append(f"{'':10}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart (for gain-style comparisons)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    if not values:
+        raise ValueError("ascii_bars needs at least one bar")
+    top = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / top * width))
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Benchmark run records and scale policy.
+
+The paper's grids (n up to 8192, seven value ranges, full-size datasets)
+are too large for a pure-Python simulation to sweep by default, so every
+experiment runs at one of three scales, selected by the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick``   — smoke-test sizes (used by the test suite);
+* ``default`` — the sizes benchmarked in EXPERIMENTS.md (minutes);
+* ``paper``   — the paper's own grid (hours; provided for completeness).
+
+Records capture both numbers a run produces: the **modeled device time**
+(comparable across simulated machines, the number the paper reports) and
+the host **wall-clock** of the simulation (what pytest-benchmark measures).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import platform
+from typing import Any, Mapping
+
+__all__ = ["RunRecord", "BenchScale", "environment_summary"]
+
+_SCALE_ENV = "REPRO_BENCH_SCALE"
+_VALID_SCALES = ("quick", "default", "paper")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One measured solver run inside an experiment."""
+
+    experiment: str
+    solver: str
+    params: Mapping[str, Any]
+    device_time_s: float | None
+    wall_time_s: float
+    extra: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def device_ms(self) -> float | None:
+        if self.device_time_s is None:
+            return None
+        return self.device_time_s * 1e3
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchScale:
+    """Grid parameters for one scale level."""
+
+    name: str
+    table2_sizes: tuple[int, ...]
+    table2_k: tuple[int, ...]
+    figure5_sizes: tuple[int, ...]
+    figure5_k: tuple[int, ...]
+    dataset_scale: float
+    noise_levels: tuple[float, ...]
+    ablation_size: int
+
+    @classmethod
+    def named(cls, name: str) -> "BenchScale":
+        """Look up one of the three scale levels."""
+        if name not in _VALID_SCALES:
+            raise ValueError(
+                f"unknown bench scale {name!r}; pick one of {_VALID_SCALES}"
+            )
+        if name == "quick":
+            return cls(
+                name="quick",
+                table2_sizes=(32, 64),
+                table2_k=(1, 100, 10000),
+                figure5_sizes=(32, 64),
+                figure5_k=(10, 500, 5000),
+                dataset_scale=0.08,
+                noise_levels=(0.8, 0.99),
+                ablation_size=64,
+            )
+        if name == "default":
+            return cls(
+                name="default",
+                table2_sizes=(128, 256),
+                table2_k=(1, 10, 100, 500, 1000, 5000, 10000),
+                figure5_sizes=(128, 256),
+                figure5_k=(10, 500, 5000),
+                dataset_scale=0.25,
+                noise_levels=(0.8, 0.9, 0.95, 0.99),
+                ablation_size=128,
+            )
+        return cls(
+            name="paper",
+            table2_sizes=(512, 1024, 2048, 4096, 8192),
+            table2_k=(1, 10, 100, 500, 1000, 5000, 10000),
+            figure5_sizes=(512, 1024, 2048, 4096, 8192),
+            figure5_k=(10, 500, 5000),
+            dataset_scale=1.0,
+            noise_levels=(0.8, 0.9, 0.95, 0.99),
+            ablation_size=512,
+        )
+
+    @classmethod
+    def from_env(cls, default: str = "default") -> "BenchScale":
+        """Read ``REPRO_BENCH_SCALE`` (falling back to ``default``)."""
+        return cls.named(os.environ.get(_SCALE_ENV, default))
+
+
+def environment_summary() -> dict[str, str]:
+    """Capture the host environment for benchmark reports."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "scale": os.environ.get(_SCALE_ENV, "default"),
+    }

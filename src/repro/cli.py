@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing any code:
+
+* ``info`` — the simulated device specs and library version;
+* ``solve`` — solve one synthetic instance with any solver and print the
+  result + modeled device time;
+* ``run`` — regenerate one (or all) of the paper's tables/figures at a
+  chosen scale, printing the paper-layout report and optionally saving it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = ("table1", "table2", "figure5", "table3", "ablations")
+_SOLVERS = ("hunipu", "cpu", "fastha", "date-nagi", "lapjv", "scipy")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HunIPU reproduction: Hungarian algorithm on a simulated IPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show device specs and version")
+
+    solve = sub.add_parser("solve", help="solve one synthetic LAP instance")
+    solve.add_argument("--size", type=int, default=128, help="matrix size n")
+    solve.add_argument(
+        "--k", type=float, default=100, help="value-range multiplier (costs in [1, k*n])"
+    )
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--solver", choices=_SOLVERS, default="hunipu")
+    solve.add_argument(
+        "--distribution", choices=("gaussian", "uniform"), default="gaussian"
+    )
+
+    run = sub.add_parser("run", help="regenerate a paper table/figure")
+    run.add_argument(
+        "experiment", choices=_EXPERIMENTS + ("all",), help="which experiment"
+    )
+    run.add_argument(
+        "--scale", choices=("quick", "default", "paper"), default="default"
+    )
+    run.add_argument(
+        "--distribution",
+        choices=("gaussian", "uniform"),
+        default="gaussian",
+        help="synthetic data distribution (table2 / figure5 only)",
+    )
+    run.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="directory to save the report text into",
+    )
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro.gpu.spec import GPUSpec
+    from repro.ipu.spec import IPUSpec
+
+    ipu = IPUSpec.mk2()
+    gpu = GPUSpec.a100()
+    print(f"repro {__version__} — HunIPU reproduction (ICDE 2024)")
+    print(
+        f"IPU  : Colossus Mk2 GC200 — {ipu.num_tiles} tiles x "
+        f"{ipu.threads_per_tile} threads, {ipu.tile_memory_bytes // 1024} KiB "
+        f"SRAM/tile, {ipu.clock_hz / 1e9:.3f} GHz, "
+        f"{ipu.exchange_bandwidth_bytes_per_s / 1e12:.0f} TB/s exchange"
+    )
+    print(
+        f"GPU  : {gpu.name} — {gpu.sm_count} SMs, "
+        f"{gpu.global_bandwidth_bytes_per_s / 1e12:.3f} TB/s HBM, "
+        f"{gpu.kernel_launch_s * 1e6:.0f} us/launch"
+    )
+    print("CPU  : AMD EPYC 7742 (2.25 GHz, serial cost model)")
+    return 0
+
+
+def _make_solver(name: str):
+    from repro.baselines import (
+        CPUHungarianSolver,
+        DateNagiSolver,
+        FastHASolver,
+        LAPJVSolver,
+        ScipySolver,
+    )
+    from repro.core import HunIPUSolver
+
+    factories: dict[str, Callable] = {
+        "hunipu": HunIPUSolver,
+        "cpu": CPUHungarianSolver,
+        "fastha": FastHASolver,
+        "date-nagi": DateNagiSolver,
+        "lapjv": LAPJVSolver,
+        "scipy": ScipySolver,
+    }
+    return factories[name]()
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.data.synthetic import gaussian_instance, uniform_instance
+
+    generate = gaussian_instance if args.distribution == "gaussian" else uniform_instance
+    instance = generate(args.size, args.k, seed=args.seed)
+    solver = _make_solver(args.solver)
+    if args.solver == "fastha" and not instance.is_power_of_two:
+        result = solver.solve_padded(instance)
+    else:
+        result = solver.solve(instance)
+    print(f"instance      : {instance.name} ({args.distribution})")
+    print(f"solver        : {result.solver}")
+    print(f"optimal cost  : {result.total_cost:.6g}")
+    if result.device_time_s is not None:
+        print(f"device time   : {result.device_time_s * 1e3:.4f} ms (modeled)")
+    print(f"wall time     : {result.wall_time_s:.4f} s (simulation)")
+    if result.iterations:
+        print(f"iterations    : {result.iterations}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        run_ablations,
+        run_figure5,
+        run_table1,
+        run_table2,
+        run_table3,
+    )
+    from repro.bench.recording import BenchScale
+
+    scale = BenchScale.named(args.scale)
+    runners: dict[str, Callable] = {
+        "table1": lambda: run_table1(scale),
+        "table2": lambda: run_table2(scale, distribution=args.distribution),
+        "figure5": lambda: run_figure5(scale, distribution=args.distribution),
+        "table3": lambda: run_table3(scale),
+        "ablations": lambda: run_ablations(scale),
+    }
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        result = runners[name]()
+        text = result.format()
+        print(text)
+        print()
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            path = args.output / f"{name}.txt"
+            path.write_text(text + "\n")
+            print(f"[saved {path}]")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

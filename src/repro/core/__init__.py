@@ -1,0 +1,16 @@
+"""HunIPU core: the IPU-optimized Hungarian algorithm (§IV)."""
+
+from repro.core.compression import compress_rows_host, segment_bounds
+from repro.core.mapping_plan import COL_SEGMENT_SIZE, MappingPlan
+from repro.core.solver import CompiledInstance, HunIPUSolver
+from repro.core.state import SolverState
+
+__all__ = [
+    "HunIPUSolver",
+    "CompiledInstance",
+    "SolverState",
+    "MappingPlan",
+    "COL_SEGMENT_SIZE",
+    "compress_rows_host",
+    "segment_bounds",
+]

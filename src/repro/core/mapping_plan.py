@@ -1,0 +1,121 @@
+"""Data-to-tile planning for HunIPU (§IV-A, §IV-E).
+
+Two layout decisions drive the whole algorithm:
+
+* the slack matrix and all *row-indexed* state use the **1D decomposition**:
+  whole rows per tile, with an **equal number of rows on every used tile**
+  (the paper enforces this for BSP balance, C3).  We realize "equal" exactly
+  by using the largest tile count that divides ``n`` — on the Mk2's 1472
+  tiles that means e.g. 1024 tiles × 8 rows for n = 8192;
+* all *column-indexed* state (``col_cover``, ``col_star``) is split into
+  fixed **32-element segments**, one per tile (§IV-E's empirically chosen
+  size), so cover updates and their reduction run in parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import MappingError
+from repro.ipu.mapping import TileMapping
+from repro.ipu.spec import IPUSpec
+
+__all__ = ["MappingPlan", "COL_SEGMENT_SIZE"]
+
+#: §IV-E: "we empirically find that 32 works well regardless of the data and
+#: the architecture" (fixed at compile time, as the footnote requires).
+COL_SEGMENT_SIZE = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class MappingPlan:
+    """Where HunIPU's tensors live for one problem size on one device.
+
+    Attributes
+    ----------
+    size:
+        The matrix dimension ``n``.
+    row_tiles:
+        Tiles holding row blocks (tile ``t`` owns rows
+        ``[t * rows_per_tile, (t+1) * rows_per_tile)``).
+    rows_per_tile:
+        Identical on every row tile (exact balance).
+    col_segment_size:
+        Elements per column-state segment (32).
+    """
+
+    size: int
+    row_tiles: tuple[int, ...]
+    rows_per_tile: int
+    col_segment_size: int = COL_SEGMENT_SIZE
+
+    @classmethod
+    def for_size(
+        cls,
+        size: int,
+        spec: IPUSpec,
+        *,
+        col_segment_size: int = COL_SEGMENT_SIZE,
+    ) -> "MappingPlan":
+        """Plan the 1D decomposition of an ``n``-row matrix on ``spec``.
+
+        Picks the largest tile count not exceeding the device (or the row
+        count) that divides ``n`` evenly, so each tile gets exactly
+        ``n / tiles`` rows.  ``col_segment_size`` overrides the paper's 32
+        for the segment-size ablation benchmark.
+        """
+        if size < 1:
+            raise MappingError("matrix size must be positive")
+        if col_segment_size < 1:
+            raise MappingError("column segment size must be positive")
+        tiles = min(size, spec.total_tiles)
+        while size % tiles:
+            tiles -= 1
+        return cls(
+            size=size,
+            row_tiles=tuple(range(tiles)),
+            rows_per_tile=size // tiles,
+            col_segment_size=col_segment_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived mappings
+    # ------------------------------------------------------------------
+
+    @property
+    def num_row_tiles(self) -> int:
+        return len(self.row_tiles)
+
+    @property
+    def num_col_segments(self) -> int:
+        return -(-self.size // self.col_segment_size)
+
+    def matrix_mapping(self) -> TileMapping:
+        """Row-block mapping for ``(n, n)`` matrices (slack, compress)."""
+        return TileMapping.row_blocks((self.size, self.size), self.row_tiles)
+
+    def row_state_mapping(self) -> TileMapping:
+        """Per-row state vectors, aligned with the matrix row blocks."""
+        return TileMapping.row_blocks((self.size, 1), self.row_tiles)
+
+    def row_threads_mapping(self, threads: int) -> TileMapping:
+        """Per-row-per-thread state (zero counts), aligned with rows."""
+        return TileMapping.row_blocks((self.size, threads), self.row_tiles)
+
+    def col_state_mapping(self) -> TileMapping:
+        """32-element segments for column state (§IV-E)."""
+        return TileMapping.linear_segments(
+            self.size,
+            self.col_segment_size,
+            range(min(self.num_col_segments, len(self.row_tiles)) or 1),
+        )
+
+    def row_block(self, tile_index: int) -> tuple[int, int]:
+        """Global row range ``[start, stop)`` of the ``tile_index``-th tile."""
+        start = tile_index * self.rows_per_tile
+        return start, start + self.rows_per_tile
+
+    def col_segment(self, segment_index: int) -> tuple[int, int]:
+        """Global column range of one column-state segment."""
+        start = segment_index * self.col_segment_size
+        return start, min(start + self.col_segment_size, self.size)

@@ -1,0 +1,19 @@
+"""The six HunIPU steps (§IV-C … §IV-H), one builder module each."""
+
+from repro.core.steps.step1_subtract import build_step1
+from repro.core.steps.step2_initial_match import build_step2
+from repro.core.steps.step3_completion import build_search_reset, build_step3
+from repro.core.steps.step4_prime_search import build_prime_update, build_step4
+from repro.core.steps.step5_augment import build_step5
+from repro.core.steps.step6_slack_update import build_step6
+
+__all__ = [
+    "build_step1",
+    "build_step2",
+    "build_step3",
+    "build_search_reset",
+    "build_step4",
+    "build_prime_update",
+    "build_step5",
+    "build_step6",
+]

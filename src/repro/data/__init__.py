@@ -1,0 +1,26 @@
+"""Workload generators: synthetic cost matrices + real-dataset stand-ins."""
+
+from repro.data.real import TABLE1_DATASETS, DatasetSpec, load_dataset, table1_rows
+from repro.data.synthetic import (
+    FIGURE5_K_VALUES,
+    PAPER_K_VALUES,
+    PAPER_SIZES,
+    gaussian_cost_matrix,
+    gaussian_instance,
+    uniform_cost_matrix,
+    uniform_instance,
+)
+
+__all__ = [
+    "TABLE1_DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "table1_rows",
+    "FIGURE5_K_VALUES",
+    "PAPER_K_VALUES",
+    "PAPER_SIZES",
+    "gaussian_cost_matrix",
+    "gaussian_instance",
+    "uniform_cost_matrix",
+    "uniform_instance",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the HunIPU reproduction.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  The subtypes mirror
+the layers of the system: problem validation, the simulated IPU's
+compile-time checks, its run-time faults, and the GPU simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """An LSAP instance is malformed (non-square, NaN costs, wrong dtype...)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A solver failed to produce a valid assignment."""
+
+
+class GraphConstructionError(ReproError, ValueError):
+    """A static computation graph was built inconsistently.
+
+    Raised while *building* the graph: duplicate tensor names, vertices wired
+    to tensors from a different graph, malformed regions, and similar.
+    """
+
+
+class CompilationError(ReproError, ValueError):
+    """The graph failed compile-time checks.
+
+    The simulated Poplar compiler rejects graphs with unmapped tensors,
+    tile-memory overflows (C2), out-of-range tile ids, or vertices whose
+    connected regions disagree with the codelet signature.
+    """
+
+
+class TileMemoryError(CompilationError):
+    """A tile's mapped tensors exceed its 624 KiB SRAM budget (C2)."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """The BSP engine hit a run-time fault (e.g. host loop guard exceeded)."""
+
+
+class MappingError(ReproError, ValueError):
+    """A tile mapping is invalid (overlapping/leaky intervals, bad tile id)."""
+
+
+class GPUSimulationError(ReproError, RuntimeError):
+    """The SIMT simulator was driven incorrectly (bad grid, kernel fault)."""

@@ -1,0 +1,6 @@
+"""Simulated GPU (SIMT) substrate for the FastHA baseline."""
+
+from repro.gpu.simt import GPUDevice, GPUProfile, KernelRecord
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["GPUDevice", "GPUProfile", "KernelRecord", "GPUSpec"]

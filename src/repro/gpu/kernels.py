@@ -1,0 +1,292 @@
+"""An executing CUDA-kernel library for the simulated GPU.
+
+While :mod:`repro.baselines.fastha` charges the A100 model from algorithm
+phase events (fast, used by the benchmarks), this module provides the
+*executing* counterpart: device buffers that live on a :class:`GPUDevice`
+and a :class:`KernelLibrary` whose methods both **compute** (vectorized
+numpy over the buffers — one call models one grid launch, not a Python
+thread per CUDA thread) and **charge** the device (launch + roofline +
+syncs).  The kernel-level FastHA
+(:class:`repro.baselines.fastha_kernels.FastHAKernelSolver`) is written
+against this library only, so its host logic can make decisions solely
+from explicitly synced-back scalars — the discipline a real CUDA
+implementation is forced into, and the one whose cost Figure 5 measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GPUSimulationError
+from repro.gpu.simt import GPUDevice
+
+__all__ = ["DeviceBuffer", "KernelLibrary"]
+
+
+class DeviceBuffer:
+    """A named device allocation backed by a numpy array.
+
+    Host code must not peek at ``array`` directly; the kernel library's
+    readback methods are the only sanctioned window (they charge syncs).
+    The test-suite accesses ``array`` to verify results — standing in for
+    a final ``cudaMemcpy`` after the algorithm completes.
+    """
+
+    def __init__(self, device: GPUDevice, name: str, array: np.ndarray) -> None:
+        device.malloc(name, array.nbytes)
+        self.device = device
+        self.name = name
+        self.array = array
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    def free(self) -> None:
+        self.device.free(self.name)
+
+
+class KernelLibrary:
+    """The FastHA kernel vocabulary, executing + charging.
+
+    Each method is one kernel launch (or a launch plus the host sync that
+    necessarily follows when the host needs the result to decide the next
+    launch).  Byte counts follow the access pattern; divergence multipliers
+    mark the branchy kernels.
+    """
+
+    def __init__(self, device: GPUDevice) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def upload(self, name: str, host_array: np.ndarray) -> DeviceBuffer:
+        """cudaMemcpy host->device (PCIe time + sync)."""
+        buffer = DeviceBuffer(self.device, name, np.array(host_array))
+        self.device.host_transfer(buffer.nbytes)
+        return buffer
+
+    def alloc_zeros(self, name: str, shape, dtype) -> DeviceBuffer:
+        """cudaMalloc + cudaMemset (one tiny kernel)."""
+        buffer = DeviceBuffer(self.device, name, np.zeros(shape, dtype=dtype))
+        self.device.launch(
+            "memset", elements=buffer.array.size, bytes_written=buffer.nbytes
+        )
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Dense phases
+    # ------------------------------------------------------------------
+
+    def row_min_subtract(self, slack: DeviceBuffer) -> None:
+        """Row reduce + subtract (two fused passes over the matrix)."""
+        matrix = slack.array
+        n = matrix.shape[0]
+        matrix -= matrix.min(axis=1, keepdims=True)
+        self.device.launch(
+            "row_min_subtract",
+            elements=2 * n * n,
+            bytes_read=2 * matrix.nbytes,
+            bytes_written=matrix.nbytes,
+        )
+
+    def col_min_subtract(self, slack: DeviceBuffer) -> None:
+        """Column reduce + subtract (strided: uncoalesced reads)."""
+        matrix = slack.array
+        n = matrix.shape[0]
+        matrix -= matrix.min(axis=0, keepdims=True)
+        self.device.launch(
+            "col_min_subtract",
+            elements=2 * n * n,
+            bytes_read=2 * matrix.nbytes,
+            bytes_written=matrix.nbytes,
+            coalesced=False,
+        )
+
+    def star_initial(
+        self,
+        slack: DeviceBuffer,
+        row_star: DeviceBuffer,
+        col_star: DeviceBuffer,
+        tol: float,
+    ) -> None:
+        """Competitive greedy starring (row-major atomics order)."""
+        matrix = slack.array
+        n = matrix.shape[0]
+        taken = np.zeros(n, dtype=bool)
+        for row in range(n):
+            hits = np.flatnonzero((matrix[row] <= tol) & ~taken)
+            if hits.size:
+                col = int(hits[0])
+                row_star.array[row] = col
+                col_star.array[col] = row
+                taken[col] = True
+        self.device.launch(
+            "star_initial",
+            elements=n * n,
+            bytes_read=matrix.nbytes + 2 * row_star.nbytes,
+            bytes_written=2 * row_star.nbytes,
+            divergence=2.0,
+        )
+        self.device.host_sync()
+
+    def cover_starred_columns(
+        self, col_star: DeviceBuffer, col_cover: DeviceBuffer
+    ) -> int:
+        """Cover update + covered count; the count syncs back to the host."""
+        col_cover.array[:] = col_star.array >= 0
+        n = col_cover.array.size
+        self.device.launch(
+            "cover_columns",
+            elements=n,
+            bytes_read=col_star.nbytes,
+            bytes_written=col_cover.nbytes,
+        )
+        self.device.launch(
+            "count_covered", elements=n, bytes_read=col_cover.nbytes,
+            bytes_written=4,
+        )
+        self.device.host_sync()
+        return int(col_cover.array.sum())
+
+    def find_uncovered_zero(
+        self,
+        slack: DeviceBuffer,
+        row_cover: DeviceBuffer,
+        col_cover: DeviceBuffer,
+        tol: float,
+    ) -> tuple[int, int] | None:
+        """Full-matrix scan; the winning thread publishes via atomicMin.
+
+        AtomicMin on the flat index makes the result deterministic: the
+        lowest row-major uncovered zero, which is what the host reads back.
+        """
+        matrix = slack.array
+        n = matrix.shape[0]
+        open_mask = (
+            (matrix <= tol)
+            & (row_cover.array[:, None] == 0)
+            & (col_cover.array[None, :] == 0)
+        )
+        self.device.launch(
+            "find_uncovered_zero",
+            elements=n * n,
+            bytes_read=matrix.nbytes + row_cover.nbytes + col_cover.nbytes,
+            bytes_written=8,
+            divergence=2.0,
+        )
+        self.device.host_sync()
+        flat = int(open_mask.argmax())
+        if not open_mask.reshape(-1)[flat]:
+            return None
+        return flat // n, flat % n
+
+    def min_uncovered(
+        self,
+        slack: DeviceBuffer,
+        row_cover: DeviceBuffer,
+        col_cover: DeviceBuffer,
+    ) -> float:
+        """Reduction over uncovered entries; delta syncs back to the host."""
+        matrix = slack.array
+        masked = np.where(
+            (row_cover.array[:, None] == 0) & (col_cover.array[None, :] == 0),
+            matrix,
+            np.inf,
+        )
+        self.device.launch(
+            "min_uncovered_reduce",
+            elements=matrix.size,
+            bytes_read=matrix.nbytes + row_cover.nbytes + col_cover.nbytes,
+            bytes_written=8,
+            divergence=1.5,
+        )
+        self.device.host_sync()
+        delta = float(masked.min())
+        if not np.isfinite(delta):
+            raise GPUSimulationError("min_uncovered over an empty region")
+        return delta
+
+    def add_subtract_update(
+        self,
+        slack: DeviceBuffer,
+        row_cover: DeviceBuffer,
+        col_cover: DeviceBuffer,
+        delta: float,
+    ) -> None:
+        """The Step-6 rule as one streaming pass."""
+        matrix = slack.array
+        signs = (
+            row_cover.array.astype(matrix.dtype)[:, None]
+            + col_cover.array.astype(matrix.dtype)[None, :]
+            - 1.0
+        )
+        matrix += delta * signs
+        self.device.launch(
+            "add_subtract_update",
+            elements=matrix.size,
+            bytes_read=matrix.nbytes + row_cover.nbytes + col_cover.nbytes,
+            bytes_written=matrix.nbytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Search bookkeeping (tiny kernels, sync-bound)
+    # ------------------------------------------------------------------
+
+    def prime_and_cover(
+        self,
+        row_prime: DeviceBuffer,
+        row_cover: DeviceBuffer,
+        col_cover: DeviceBuffer,
+        row: int,
+        col: int,
+        starred_col: int,
+    ) -> None:
+        """Prime (row, col), cover the row, uncover the star's column."""
+        row_prime.array[row] = col
+        row_cover.array[row] = 1
+        if starred_col >= 0:
+            col_cover.array[starred_col] = 0
+        self.device.launch(
+            "prime_and_cover", elements=1, bytes_read=12, bytes_written=12
+        )
+        self.device.host_sync()
+
+    def read_star_of_row(self, row_star: DeviceBuffer, row: int) -> int:
+        """4-byte readback the host needs before branching."""
+        self.device.host_sync()
+        return int(row_star.array[row])
+
+    def augment_hop(
+        self,
+        row_star: DeviceBuffer,
+        col_star: DeviceBuffer,
+        row_prime: DeviceBuffer,
+        row: int,
+        col: int,
+    ) -> tuple[int, int] | None:
+        """Flip one star along the path; returns the next (row, col)."""
+        displaced = int(col_star.array[col])
+        row_star.array[row] = col
+        col_star.array[col] = row
+        self.device.launch(
+            "augment_hop", elements=1, bytes_read=16, bytes_written=16
+        )
+        self.device.host_sync()
+        if displaced < 0:
+            return None
+        return displaced, int(row_prime.array[displaced])
+
+    def clear_primes_uncover_rows(
+        self, row_prime: DeviceBuffer, row_cover: DeviceBuffer
+    ) -> None:
+        """Post-augmentation reset (one memset-style kernel)."""
+        row_prime.array[:] = -1
+        row_cover.array[:] = 0
+        self.device.launch(
+            "clear_primes_uncover",
+            elements=row_prime.array.size,
+            bytes_written=row_prime.nbytes + row_cover.nbytes,
+        )

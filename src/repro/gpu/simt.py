@@ -1,0 +1,180 @@
+"""SIMT kernel-execution model: launches, rooflines, divergence, syncs.
+
+:class:`GPUDevice` is the driver-level abstraction the FastHA simulation
+runs against.  A kernel "executes" by declaring its traffic —
+``(elements, bytes_read, bytes_written, divergence, coalesced)`` — and the
+device charges::
+
+    time = kernel_launch + max(compute_time, memory_time)
+
+which is the standard roofline: dense streaming kernels sit on the memory
+roof, tiny control kernels pay mostly the launch overhead, and divergent
+scans pay the SIMT serialization multiplier on the compute side.  Host
+synchronizations (reading a result flag to decide the next kernel) are
+charged separately — the Hungarian search loop is full of them, and they
+are exactly the cost the IPU's on-device control flow avoids.
+
+The device also book-keeps VRAM allocations (the A100's 40 GB limit is a
+real constraint for float64 matrices at paper scale) and keeps a per-kernel
+profile, mirroring the IPU engine's profiler so benchmark output can show
+both machines' step breakdowns side by side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import GPUSimulationError
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["KernelRecord", "GPUDevice", "GPUProfile"]
+
+
+@dataclasses.dataclass
+class KernelRecord:
+    """Aggregate cost of all launches of one kernel."""
+
+    name: str
+    launches: int = 0
+    compute_seconds: float = 0.0
+    memory_seconds: float = 0.0
+    launch_seconds: float = 0.0
+    bytes_moved: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        # Roofline: compute and memory overlap within a kernel.
+        return self.launch_seconds + max(self.compute_seconds, self.memory_seconds)
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUProfile:
+    """Immutable cost snapshot of a finished GPU run."""
+
+    records: tuple[KernelRecord, ...]
+    kernel_launches: int
+    host_syncs: int
+    sync_seconds: float
+
+    @property
+    def device_seconds(self) -> float:
+        return self.sync_seconds + sum(r.total_seconds for r in self.records)
+
+    def record_named(self, name: str) -> KernelRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        """Human-readable per-kernel table (sorted by total time)."""
+        lines = [
+            f"{'kernel':<28} {'launches':>9} {'compute ms':>12} "
+            f"{'memory ms':>11} {'launch ms':>10} {'total ms':>10}"
+        ]
+        for record in sorted(
+            self.records, key=lambda r: r.total_seconds, reverse=True
+        ):
+            lines.append(
+                f"{record.name:<28} {record.launches:>9} "
+                f"{record.compute_seconds * 1e3:>12.4f} "
+                f"{record.memory_seconds * 1e3:>11.4f} "
+                f"{record.launch_seconds * 1e3:>10.4f} "
+                f"{record.total_seconds * 1e3:>10.4f}"
+            )
+        lines.append(
+            f"{'host syncs':<28} {self.host_syncs:>9} {'':>12} {'':>11} {'':>10} "
+            f"{self.sync_seconds * 1e3:>10.4f}"
+        )
+        return "\n".join(lines)
+
+
+class GPUDevice:
+    """One simulated CUDA device with a single in-order stream."""
+
+    def __init__(self, spec: GPUSpec | None = None) -> None:
+        self.spec = spec if spec is not None else GPUSpec.a100()
+        self._allocated = 0
+        self._allocations: dict[str, int] = {}
+        self._records: dict[str, KernelRecord] = {}
+        self._launches = 0
+        self._syncs = 0
+        self._sync_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+
+    def malloc(self, name: str, num_bytes: int) -> None:
+        """Reserve VRAM; raises when the 40 GB budget is exceeded."""
+        if num_bytes < 0:
+            raise GPUSimulationError(f"negative allocation for {name!r}")
+        if name in self._allocations:
+            raise GPUSimulationError(f"buffer {name!r} already allocated")
+        if self._allocated + num_bytes > self.spec.vram_bytes:
+            raise GPUSimulationError(
+                f"out of device memory: {name!r} needs {num_bytes} bytes, "
+                f"{self.spec.vram_bytes - self._allocated} free"
+            )
+        self._allocations[name] = num_bytes
+        self._allocated += num_bytes
+
+    def free(self, name: str) -> None:
+        """Release a previously allocated buffer."""
+        try:
+            self._allocated -= self._allocations.pop(name)
+        except KeyError:
+            raise GPUSimulationError(f"buffer {name!r} is not allocated") from None
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        name: str,
+        *,
+        elements: float = 0.0,
+        bytes_read: float = 0.0,
+        bytes_written: float = 0.0,
+        divergence: float = 1.0,
+        coalesced: bool = True,
+    ) -> None:
+        """Charge one kernel launch with the declared traffic."""
+        if divergence < 1.0:
+            raise GPUSimulationError("divergence multiplier cannot be below 1")
+        record = self._records.setdefault(name, KernelRecord(name))
+        record.launches += 1
+        record.launch_seconds += self.spec.kernel_launch_s
+        record.compute_seconds += self.spec.compute_seconds(elements, divergence)
+        moved = bytes_read + bytes_written
+        record.memory_seconds += self.spec.memory_seconds(moved, coalesced)
+        record.bytes_moved += int(moved)
+        self._launches += 1
+
+    def host_sync(self) -> None:
+        """Charge a device->host readback + host-side decision."""
+        self._syncs += 1
+        self._sync_seconds += self.spec.host_sync_s
+
+    def host_transfer(self, num_bytes: float) -> None:
+        """Charge a bulk host<->device PCIe transfer (with one sync)."""
+        self._syncs += 1
+        self._sync_seconds += self.spec.host_sync_s + self.spec.pcie_seconds(
+            num_bytes
+        )
+
+    def profile(self) -> GPUProfile:
+        """Snapshot of everything charged so far."""
+        return GPUProfile(
+            records=tuple(
+                dataclasses.replace(record) for record in self._records.values()
+            ),
+            kernel_launches=self._launches,
+            host_syncs=self._syncs,
+            sync_seconds=self._sync_seconds,
+        )

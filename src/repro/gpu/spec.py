@@ -1,0 +1,86 @@
+"""Hardware specification of the simulated GPU.
+
+Defaults model the NVIDIA A100-40GB the paper's FastHA baseline runs on
+(§V).  The parameters feed the roofline-style kernel cost model in
+:mod:`repro.gpu.simt`:
+
+* a **kernel launch** costs microseconds — negligible for large dense
+  kernels, dominant for the thousands of tiny, serialized steps the
+  Hungarian search loop issues (this is the mechanism behind the paper's
+  observation that GPUs "underperform on the steps ... that require
+  returning the best assignment among variable sets of candidates");
+* **global memory** traffic is charged at HBM2e bandwidth; there is no
+  tile-local SRAM to hide it in (§III contrasts this with the IPU);
+* **compute** runs in 32-lane warps in lockstep (SIMT): divergent branches
+  serialize, modeled by a per-kernel divergence multiplier;
+* a **host synchronization** (reading a flag back, deciding the next
+  kernel) costs PCIe round-trip latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GPUSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Parameters of one simulated CUDA device."""
+
+    name: str = "nvidia-a100-40gb"
+    sm_count: int = 108
+    warp_size: int = 32
+    clock_hz: float = 1.41e9
+    vram_bytes: int = 40 * 1024**3
+    global_bandwidth_bytes_per_s: float = 1.555e12
+    #: Fixed cost of one kernel launch (driver + grid setup), seconds.
+    kernel_launch_s: float = 3.0e-6
+    #: Host<->device synchronization (flag readback + decision), seconds.
+    host_sync_s: float = 6.0e-6
+    #: PCIe bandwidth for bulk host<->device transfers.
+    pcie_bandwidth_bytes_per_s: float = 16e9
+    #: Peak simple-ALU element throughput per SM per cycle (32 lanes,
+    #: discounted for addressing/predication in irregular kernels).
+    elements_per_sm_cycle: float = 16.0
+    #: Uncoalesced accesses waste most of each 32-byte sector.
+    uncoalesced_penalty: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1 or self.warp_size < 1:
+            raise ValueError("SM count and warp size must be positive")
+        if self.clock_hz <= 0 or self.global_bandwidth_bytes_per_s <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+
+    @classmethod
+    def a100(cls) -> "GPUSpec":
+        """The device used by the paper's FastHA measurements."""
+        return cls()
+
+    @property
+    def compute_throughput_elements_per_s(self) -> float:
+        """Chip-wide simple-op element throughput."""
+        return self.sm_count * self.elements_per_sm_cycle * self.clock_hz
+
+    def compute_seconds(self, elements: float, divergence: float = 1.0) -> float:
+        """Time for ``elements`` lockstep ALU element-ops.
+
+        ``divergence`` multiplies the cost: a warp whose lanes take
+        different branches executes every taken path (SIMT serialization).
+        """
+        if elements <= 0:
+            return 0.0
+        return elements * divergence / self.compute_throughput_elements_per_s
+
+    def memory_seconds(self, num_bytes: float, coalesced: bool = True) -> float:
+        """Time to move ``num_bytes`` through global memory."""
+        if num_bytes <= 0:
+            return 0.0
+        penalty = 1.0 if coalesced else self.uncoalesced_penalty
+        return num_bytes * penalty / self.global_bandwidth_bytes_per_s
+
+    def pcie_seconds(self, num_bytes: float) -> float:
+        """Time for a bulk host<->device transfer over PCIe."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.pcie_bandwidth_bytes_per_s

@@ -1,0 +1,55 @@
+"""The simulated Intelligence Processing Unit (IPU) substrate.
+
+A functional + analytical model of the Graphcore Colossus Mk2 architecture
+the paper targets (§III): tiles with private SRAM, six worker threads each,
+a static computation graph of tile-mapped tensors and codelet vertices,
+BSP execution (compute / sync / exchange supersteps), and an exchange-fabric
+cost model.  Programs written against this package compute real results
+while accumulating modeled device time.
+"""
+
+from repro.ipu.codelets import Codelet, CostContext
+from repro.ipu.compiler import CompiledGraph, compile_graph
+from repro.ipu.engine import Engine
+from repro.ipu.graph import ComputeGraph, ComputeSet, Connection, Vertex
+from repro.ipu.mapping import Interval, TileMapping
+from repro.ipu.profiler import ProfileReport, Profiler, StepRecord
+from repro.ipu.programs import (
+    Copy,
+    Execute,
+    If,
+    Nop,
+    Program,
+    Repeat,
+    RepeatWhileTrue,
+    Sequence,
+)
+from repro.ipu.spec import IPUSpec
+from repro.ipu.tensor import Tensor
+
+__all__ = [
+    "Codelet",
+    "CostContext",
+    "CompiledGraph",
+    "compile_graph",
+    "Engine",
+    "ComputeGraph",
+    "ComputeSet",
+    "Connection",
+    "Vertex",
+    "Interval",
+    "TileMapping",
+    "ProfileReport",
+    "Profiler",
+    "StepRecord",
+    "Copy",
+    "Execute",
+    "If",
+    "Nop",
+    "Program",
+    "Repeat",
+    "RepeatWhileTrue",
+    "Sequence",
+    "IPUSpec",
+    "Tensor",
+]

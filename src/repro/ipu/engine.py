@@ -1,0 +1,207 @@
+"""The BSP execution engine.
+
+Interprets a compiled program tree.  Each :class:`Execute` node runs its
+compute set as one Bulk-Synchronous-Parallel superstep (§III-A): the
+**compute** phase runs every vertex (batched numpy when the plan allows,
+per-vertex otherwise) and costs as much as the slowest tile's busiest worker
+slot; the **sync** phase costs a fixed barrier; the **exchange** phase costs
+the compute set's statically planned byte volume over the fabric.
+
+Two execution modes exist:
+
+* ``"batched"`` (default) — uniform compute sets run as one
+  :meth:`~repro.ipu.codelets.Codelet.compute_all` call over all vertices;
+* ``"per_tile"`` — every vertex runs individually (batch of one).
+
+Both produce identical tensor contents and identical cycle charges; the
+equivalence is part of the test suite, which is what justifies trusting the
+fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ipu.compiler import CompiledGraph, ExecutionPlan, compile_graph
+from repro.ipu.graph import ComputeGraph
+from repro.ipu.profiler import ProfileReport, Profiler
+from repro.ipu.programs import (
+    Copy,
+    Execute,
+    If,
+    Nop,
+    Program,
+    Repeat,
+    RepeatWhileTrue,
+    Sequence,
+)
+from repro.ipu.tensor import Tensor
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Executes one compiled graph; reusable across runs.
+
+    Parameters
+    ----------
+    graph, program:
+        The static graph and its top-level program.  Compilation happens in
+        the constructor, so construction raises on invalid graphs.
+    mode:
+        ``"batched"`` or ``"per_tile"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        graph: ComputeGraph,
+        program: Program,
+        *,
+        mode: Literal["batched", "per_tile"] = "batched",
+    ) -> None:
+        if mode not in ("batched", "per_tile"):
+            raise ExecutionError(f"unknown engine mode {mode!r}")
+        self.compiled: CompiledGraph = compile_graph(graph, program)
+        self.mode = mode
+        self._profiler: Profiler | None = None
+
+    # ------------------------------------------------------------------
+    # Host data movement (charged as host I/O)
+    # ------------------------------------------------------------------
+
+    def write_tensor(self, tensor: Tensor, values: np.ndarray | float) -> None:
+        """Host-to-device write of a whole tensor."""
+        tensor.write_host(values)
+        if self._profiler is not None:
+            self._profiler.record_host_io(tensor.nbytes)
+
+    def read_tensor(self, tensor: Tensor) -> np.ndarray:
+        """Device-to-host read of a whole tensor."""
+        if self._profiler is not None:
+            self._profiler.record_host_io(tensor.nbytes)
+        return tensor.read_host()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProfileReport:
+        """Execute the program once and return the cost report."""
+        self._profiler = Profiler(self.compiled.spec)
+        try:
+            self._run_program(self.compiled.program)
+            return self._profiler.report()
+        finally:
+            self._profiler = None
+
+    def _run_program(self, program: Program) -> None:
+        if isinstance(program, Sequence):
+            for child in program.programs:
+                self._run_program(child)
+        elif isinstance(program, Execute):
+            self._run_compute_set(self.compiled.plan_for(program.compute_set))
+        elif isinstance(program, Repeat):
+            for _ in range(program.count):
+                self._run_program(program.body)
+        elif isinstance(program, RepeatWhileTrue):
+            iterations = 0
+            while self._scalar_truthy(program.condition):
+                iterations += 1
+                if iterations > program.max_iterations:
+                    raise ExecutionError(
+                        f"RepeatWhileTrue on {program.condition.name!r} "
+                        f"exceeded {program.max_iterations} iterations"
+                    )
+                self._run_program(program.body)
+        elif isinstance(program, If):
+            if self._scalar_truthy(program.condition):
+                self._run_program(program.then_body)
+            elif program.else_body is not None:
+                self._run_program(program.else_body)
+        elif isinstance(program, Copy):
+            self._run_copy(program)
+        elif isinstance(program, Nop):
+            pass
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown program node {type(program).__name__}")
+
+    @staticmethod
+    def _scalar_truthy(tensor: Tensor) -> bool:
+        return bool(tensor.flat()[0] != 0)
+
+    def _run_copy(self, copy: Copy) -> None:
+        copy.destination.flat()[:] = copy.source.flat()
+        assert self._profiler is not None
+        spec = self.compiled.spec
+        tiles_per_ipu = spec.num_tiles if spec.num_ipus > 1 else None
+        total, inter = copy.exchange_bytes_split(tiles_per_ipu)
+        self._profiler.record_superstep(
+            f"copy/{copy.source.name}->{copy.destination.name}",
+            compute_cycles=0.0,
+            exchange_bytes=total,
+            inter_ipu_bytes=inter,
+        )
+
+    # ------------------------------------------------------------------
+    # Compute sets
+    # ------------------------------------------------------------------
+
+    def _run_compute_set(self, plan: ExecutionPlan) -> None:
+        cost = self.compiled.cost_context
+        if plan.batched and self.mode == "batched":
+            views, needs_scatter = plan.batch_views()
+            cycles = np.asarray(
+                plan.codelet.compute_all(views, plan.param_arrays, cost),
+                dtype=np.float64,
+            )
+            if cycles.shape != (len(plan.compute_set.vertices),):
+                raise ExecutionError(
+                    f"codelet {plan.codelet.name} returned cycle array of "
+                    f"shape {cycles.shape}, expected "
+                    f"({len(plan.compute_set.vertices)},)"
+                )
+            if needs_scatter:
+                for field, field_plan in plan.field_plans.items():
+                    field_plan.scatter(views[field])
+        else:
+            cycles = self._run_per_vertex(plan, cost)
+        cycles += cost.vertex_overhead_cycles
+        compute_cycles = plan.tile_compute_cycles(cycles, self.compiled.spec)
+        assert self._profiler is not None
+        self._profiler.record_superstep(
+            plan.compute_set.name,
+            compute_cycles=compute_cycles,
+            exchange_bytes=plan.exchange_bytes,
+            inter_ipu_bytes=plan.inter_ipu_bytes,
+        )
+
+    def _run_per_vertex(self, plan: ExecutionPlan, cost) -> np.ndarray:
+        """Fallback: run each vertex as its own batch of one.
+
+        Used for compute sets with mixed codelets or non-uniform regions,
+        and for the whole graph in ``per_tile`` mode.
+        """
+        vertices = plan.compute_set.vertices
+        cycles = np.zeros(len(vertices), dtype=np.float64)
+        for index, vertex in enumerate(vertices):
+            views = {}
+            for field, connection in vertex.connections.items():
+                region = connection.tensor.region(connection.start, connection.stop)
+                views[field] = region.reshape(1, -1)
+            params = {
+                name: np.array([value], dtype=np.float64)
+                for name, value in vertex.params.items()
+            }
+            vertex_cycles = np.asarray(
+                vertex.codelet.compute_all(views, params, cost), dtype=np.float64
+            )
+            if vertex_cycles.shape != (1,):
+                raise ExecutionError(
+                    f"codelet {vertex.codelet.name} returned cycle array of "
+                    f"shape {vertex_cycles.shape} for a single vertex"
+                )
+            cycles[index] = vertex_cycles[0]
+        return cycles

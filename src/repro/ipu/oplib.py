@@ -1,0 +1,309 @@
+"""Generic codelets and graph-building helpers (the "poplibs" layer).
+
+Poplar ships reusable operator libraries (reduce, sort, elementwise) that the
+paper's Steps 1, 2 and 6 lean on ("we apply the Poplar's reduce operation",
+§IV-C; "Poplar's sort operation", §IV-D).  This module is the simulator's
+equivalent: small stateless codelets with explicit cycle formulas, plus
+:func:`build_reduce`, the standard two-stage (per-tile partial → single-tile
+final) distributed reduction pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.ipu.codelets import Codelet, CostContext
+from repro.ipu.graph import ComputeGraph, Connection
+from repro.ipu.mapping import TileMapping
+from repro.ipu.programs import Execute, Program, Sequence
+from repro.ipu.tensor import Tensor
+
+__all__ = [
+    "Fill",
+    "VecReduce",
+    "RowMin",
+    "SubtractRowMin",
+    "ColPartialMin",
+    "SubtractColMin",
+    "SortRowsDescending",
+    "GatherColumn",
+    "WriteScalar",
+    "AddToScalar",
+    "ScalarCompare",
+    "ScalarBinaryCompare",
+    "build_reduce",
+]
+
+_REDUCE_OPS = {
+    "min": (np.min, np.minimum),
+    "max": (np.max, np.maximum),
+    "sum": (np.sum, np.add),
+}
+
+
+class Fill(Codelet):
+    """Set every element of the connected region to the ``value`` param."""
+
+    fields = {"data": "inout"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        data = views["data"]
+        data[...] = params["value"][:, None]
+        length = data.shape[1]
+        return np.full(
+            data.shape[0], cost.segmented(length / 2 * cost.cycles_per_load2)
+        )
+
+
+class VecReduce(Codelet):
+    """Reduce a vector region to one element with ``op`` (min/max/sum).
+
+    The operation is part of the codelet identity (and of its name), because
+    Poplar specializes reduce vertices per operation at compile time.
+    """
+
+    fields = {"data": "in", "out": "out"}
+
+    def __init__(self, op: str) -> None:
+        if op not in _REDUCE_OPS:
+            raise GraphConstructionError(f"unknown reduce op {op!r}")
+        self.op = op
+        super().__init__()
+
+    @property
+    def name(self) -> str:
+        return f"VecReduce[{self.op}]"
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        reduce_fn, _ = _REDUCE_OPS[self.op]
+        data = views["data"]
+        views["out"][:, 0] = reduce_fn(data, axis=1)
+        return np.asarray(cost.segmented(cost.scan_cycles(data.shape[1]))) * np.ones(
+            data.shape[0]
+        )
+
+
+class RowMin(Codelet):
+    """Per-row minimum of a row block (Step 1's row reduce, §IV-C)."""
+
+    fields = {"block": "in", "mins": "out"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        cols = int(params["cols"][0])
+        block = views["block"]
+        rows = block.shape[1] // cols
+        views["mins"][...] = block.reshape(-1, rows, cols).min(axis=2)
+        return np.asarray(
+            cost.segmented(rows * cost.scan_cycles(cols))
+        ) * np.ones(block.shape[0])
+
+
+class SubtractRowMin(Codelet):
+    """Subtract each row's minimum (2-float loads, six-segment split)."""
+
+    fields = {"block": "inout", "mins": "in"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        cols = int(params["cols"][0])
+        block = views["block"]
+        rows = block.shape[1] // cols
+        shaped = block.reshape(-1, rows, cols)
+        shaped -= views["mins"].reshape(-1, rows, 1)
+        work = rows * cols * (cost.cycles_per_load2 / 2 + cost.cycles_per_alu_op)
+        return np.asarray(cost.segmented(work)) * np.ones(block.shape[0])
+
+
+class ColPartialMin(Codelet):
+    """Per-tile column-wise partial minimum over a row block (Step 1)."""
+
+    fields = {"block": "in", "partial": "out"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        cols = int(params["cols"][0])
+        block = views["block"]
+        rows = block.shape[1] // cols
+        views["partial"][...] = block.reshape(-1, rows, cols).min(axis=1)
+        return np.asarray(
+            cost.segmented(cost.scan_cycles(rows * cols))
+        ) * np.ones(block.shape[0])
+
+
+class SubtractColMin(Codelet):
+    """Subtract the global column minima (broadcast read) from a row block."""
+
+    fields = {"block": "inout", "colmin": "in"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        cols = int(params["cols"][0])
+        block = views["block"]
+        rows = block.shape[1] // cols
+        shaped = block.reshape(-1, rows, cols)
+        shaped -= views["colmin"].reshape(block.shape[0], 1, cols)
+        work = rows * cols * (cost.cycles_per_load2 / 2 + cost.cycles_per_alu_op)
+        return np.asarray(cost.segmented(work)) * np.ones(block.shape[0])
+
+
+class SortRowsDescending(Codelet):
+    """Sort each row of a block descending (Step 2's compress-matrix sort)."""
+
+    fields = {"block": "inout"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        cols = int(params["cols"][0])
+        block = views["block"]
+        rows = block.shape[1] // cols
+        shaped = block.reshape(-1, rows, cols)
+        shaped.sort(axis=2)
+        shaped[...] = shaped[:, :, ::-1]
+        work = rows * cost.sort_cycles(cols)
+        return np.asarray(cost.segmented(work)) * np.ones(block.shape[0])
+
+
+class GatherColumn(Codelet):
+    """Dynamic slice of one column out of a local row block (C4).
+
+    The column index arrives in a one-element tensor written at run time
+    (typically a loop counter), so every access is a runtime-indexed load —
+    charged at the dynamic-access rate.
+    """
+
+    fields = {"block": "in", "index": "in", "out": "out"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        cols = int(params["cols"][0])
+        block = views["block"]
+        rows = block.shape[1] // cols
+        column = views["index"][:, 0].astype(np.int64)
+        shaped = block.reshape(-1, rows, cols)
+        views["out"][...] = shaped[np.arange(shaped.shape[0]), :, column]
+        work = rows * cost.cycles_per_dynamic_access
+        return np.full(block.shape[0], float(work))
+
+
+class WriteScalar(Codelet):
+    """Write the compile-time ``value`` param into a one-element tensor."""
+
+    fields = {"out": "out"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        views["out"][:, 0] = params["value"]
+        return np.full(views["out"].shape[0], cost.cycles_per_alu_op)
+
+
+class AddToScalar(Codelet):
+    """Add the compile-time ``value`` param to a one-element tensor."""
+
+    fields = {"out": "inout"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        views["out"][:, 0] += params["value"].astype(views["out"].dtype)
+        return np.full(views["out"].shape[0], cost.cycles_per_alu_op)
+
+
+class ScalarCompare(Codelet):
+    """Write ``flag = (a <op> threshold)`` for scalar tensors.
+
+    ``op`` and ``threshold`` are codelet identity (compile-time), matching
+    how branch predicates are built into static graphs.
+    """
+
+    fields = {"a": "in", "flag": "out"}
+
+    _OPS = {
+        "eq": np.equal,
+        "ne": np.not_equal,
+        "lt": np.less,
+        "le": np.less_equal,
+        "gt": np.greater,
+        "ge": np.greater_equal,
+    }
+
+    def __init__(self, op: str, threshold: float) -> None:
+        if op not in self._OPS:
+            raise GraphConstructionError(f"unknown comparison {op!r}")
+        self.op = op
+        self.threshold = threshold
+        super().__init__()
+
+    @property
+    def name(self) -> str:
+        return f"ScalarCompare[{self.op},{self.threshold}]"
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        result = self._OPS[self.op](views["a"][:, 0], self.threshold)
+        views["flag"][:, 0] = result.astype(views["flag"].dtype)
+        return np.full(views["a"].shape[0], cost.cycles_per_alu_op)
+
+
+class ScalarBinaryCompare(Codelet):
+    """Write ``flag = (a <op> b)`` for two scalar tensors."""
+
+    fields = {"a": "in", "b": "in", "flag": "out"}
+
+    _OPS = ScalarCompare._OPS
+
+    def __init__(self, op: str) -> None:
+        if op not in self._OPS:
+            raise GraphConstructionError(f"unknown comparison {op!r}")
+        self.op = op
+        super().__init__()
+
+    @property
+    def name(self) -> str:
+        return f"ScalarBinaryCompare[{self.op}]"
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        result = self._OPS[self.op](views["a"][:, 0], views["b"][:, 0])
+        views["flag"][:, 0] = result.astype(views["flag"].dtype)
+        return np.full(views["a"].shape[0], cost.cycles_per_alu_op)
+
+
+def build_reduce(
+    graph: ComputeGraph,
+    source: Tensor,
+    op: str,
+    out: Tensor,
+    name: str,
+    *,
+    stage_tile: int = 0,
+) -> Program:
+    """Two-stage distributed reduction of ``source`` into scalar ``out``.
+
+    Stage 1 places one partial-reduce vertex on every tile that owns a piece
+    of ``source`` (its result element is mapped to that same tile, so stage 1
+    is exchange-free).  Stage 2 reduces the partials vector on
+    ``stage_tile``, paying exchange for the remote partials — the same
+    pattern Poplar's ``popops::reduce`` lowers to for small outputs.
+    """
+    if out.size != 1:
+        raise GraphConstructionError("reduce target must be a scalar tensor")
+    mapping = source.require_mapping()
+    intervals = mapping.intervals
+    partials = graph.add_tensor(
+        f"{name}/partials",
+        (len(intervals),),
+        source.dtype,
+        mapping=TileMapping.per_element([iv.tile for iv in intervals]),
+    )
+    stage1 = graph.add_compute_set(f"{name}/partial")
+    codelet = VecReduce(op)
+    for index, interval in enumerate(intervals):
+        stage1.add_vertex(
+            codelet,
+            interval.tile,
+            {
+                "data": Connection(source, interval.start, interval.stop),
+                "out": Connection(partials, index, index + 1),
+            },
+        )
+    stage2 = graph.add_compute_set(f"{name}/final")
+    stage2.add_vertex(
+        VecReduce(op),
+        stage_tile,
+        {
+            "data": ComputeGraph.full(partials),
+            "out": ComputeGraph.full(out),
+        },
+    )
+    return Sequence(Execute(stage1), Execute(stage2))

@@ -1,0 +1,153 @@
+"""Execution profiling: per-compute-set BSP phase accounting.
+
+The engine reports, for every superstep, the three BSP phase costs the paper
+reasons about (§III-A): compute (slowest tile), synchronization (fixed), and
+exchange (bytes over the fabric).  The profiler aggregates them by compute
+set name, which is how HunIPU's per-step costs (Step 1 ... Step 6) surface
+in benchmark output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ipu.spec import IPUSpec
+
+__all__ = ["StepRecord", "Profiler", "ProfileReport"]
+
+
+@dataclasses.dataclass
+class StepRecord:
+    """Aggregate cost of all executions of one compute set (or copy)."""
+
+    name: str
+    executions: int = 0
+    compute_seconds: float = 0.0
+    sync_seconds: float = 0.0
+    exchange_seconds: float = 0.0
+    exchange_bytes: int = 0
+    inter_ipu_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.sync_seconds + self.exchange_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileReport:
+    """Immutable snapshot of a finished run."""
+
+    records: tuple[StepRecord, ...]
+    supersteps: int
+    host_io_seconds: float
+
+    @property
+    def device_seconds(self) -> float:
+        """Total modeled on-device time (the paper-comparable number)."""
+        return sum(record.total_seconds for record in self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        """Device time plus host I/O."""
+        return self.device_seconds + self.host_io_seconds
+
+    @property
+    def exchange_bytes(self) -> int:
+        return sum(record.exchange_bytes for record in self.records)
+
+    @property
+    def inter_ipu_bytes(self) -> int:
+        """Exchange bytes that crossed chip boundaries (multi-IPU)."""
+        return sum(record.inter_ipu_bytes for record in self.records)
+
+    def record_named(self, name: str) -> StepRecord:
+        """The record for one compute set name (KeyError if absent)."""
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def by_prefix(self, prefix: str) -> float:
+        """Summed seconds of every record whose name starts with ``prefix``.
+
+        HunIPU names its compute sets ``step1/...``, ``step4/...`` etc., so
+        ``by_prefix("step6")`` is the modeled cost of the slack update.
+        """
+        return sum(
+            record.total_seconds
+            for record in self.records
+            if record.name.startswith(prefix)
+        )
+
+    def format_table(self) -> str:
+        """Human-readable per-step table (sorted by total time)."""
+        lines = [
+            f"{'compute set':<32} {'execs':>8} {'compute ms':>12} "
+            f"{'exchange ms':>12} {'sync ms':>10} {'total ms':>10}"
+        ]
+        for record in sorted(
+            self.records, key=lambda r: r.total_seconds, reverse=True
+        ):
+            lines.append(
+                f"{record.name:<32} {record.executions:>8} "
+                f"{record.compute_seconds * 1e3:>12.4f} "
+                f"{record.exchange_seconds * 1e3:>12.4f} "
+                f"{record.sync_seconds * 1e3:>10.4f} "
+                f"{record.total_seconds * 1e3:>10.4f}"
+            )
+        lines.append(
+            f"{'TOTAL':<32} {self.supersteps:>8} "
+            f"{'':>12} {'':>12} {'':>10} {self.device_seconds * 1e3:>10.4f}"
+        )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Mutable accumulator used by the engine during a run."""
+
+    def __init__(self, spec: IPUSpec) -> None:
+        self._spec = spec
+        self._records: dict[str, StepRecord] = {}
+        self._supersteps = 0
+        self._host_io_seconds = 0.0
+
+    def record_superstep(
+        self,
+        name: str,
+        compute_cycles: float,
+        exchange_bytes: int,
+        inter_ipu_bytes: int = 0,
+    ) -> None:
+        """Charge one BSP superstep: compute + sync + exchange.
+
+        ``inter_ipu_bytes`` is the subset of the exchange crossing chip
+        boundaries (charged at IPU-Link bandwidth).
+        """
+        record = self._records.setdefault(name, StepRecord(name))
+        record.executions += 1
+        record.compute_seconds += self._spec.cycles_to_seconds(compute_cycles)
+        record.sync_seconds += self._spec.sync_seconds()
+        record.exchange_seconds += self._spec.exchange_seconds(
+            exchange_bytes, inter_ipu_bytes
+        )
+        record.exchange_bytes += exchange_bytes
+        record.inter_ipu_bytes += inter_ipu_bytes
+        self._supersteps += 1
+
+    def record_host_io(self, num_bytes: int) -> None:
+        """Charge a host<->device transfer."""
+        self._host_io_seconds += self._spec.host_io_seconds(num_bytes)
+
+    @property
+    def supersteps(self) -> int:
+        return self._supersteps
+
+    def report(self) -> ProfileReport:
+        """Snapshot the accumulated costs."""
+        return ProfileReport(
+            records=tuple(
+                dataclasses.replace(record) for record in self._records.values()
+            ),
+            supersteps=self._supersteps,
+            host_io_seconds=self._host_io_seconds,
+        )

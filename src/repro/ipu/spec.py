@@ -1,0 +1,183 @@
+"""Hardware specification of the simulated IPU.
+
+The constants default to the Colossus Mk2 GC200 figures quoted in the paper
+(§III and §V): 1472 tiles, six hardware worker threads per tile, 624 KiB of
+SRAM per tile, a 1.325 GHz clock, an 8 TB/s all-to-all exchange fabric, and
+47.5 TB/s aggregate SRAM bandwidth with 6-cycle load latency.
+
+The :class:`IPUSpec` is consumed in two places:
+
+* the **compiler** (`repro.ipu.compiler`) enforces the per-tile memory budget
+  (challenge C2) and the tile-count bound;
+* the **engine** (`repro.ipu.engine`) converts the per-superstep cycle and
+  byte counts into modeled seconds (challenge C3: a superstep costs as much
+  as its slowest tile, plus a synchronization constant, plus exchange time).
+
+Nothing in the simulator hard-codes Mk2 values — tests exercise toy specs
+with a handful of tiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["IPUSpec", "KIB", "MIB"]
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclasses.dataclass(frozen=True)
+class IPUSpec:
+    """Parameters of one simulated IPU chip.
+
+    Attributes
+    ----------
+    num_tiles:
+        Number of tiles (cores with private SRAM) on the chip.
+    threads_per_tile:
+        Hardware worker threads per tile.  The Mk2 tile time-slices six
+        workers; vertices scheduled on the same tile are distributed over
+        worker slots and the tile's compute time is the busiest slot.
+    tile_memory_bytes:
+        SRAM per tile.  Exceeding it is a compile-time error (C2).
+    clock_hz:
+        Tile clock.  Cycle counts divide by this to get seconds.
+    exchange_bandwidth_bytes_per_s:
+        All-to-all exchange fabric bandwidth (chip aggregate).
+    sync_cycles:
+        Fixed cost of one BSP synchronization phase, in cycles.  Models the
+        internal sync barrier every compute set pays.
+    exchange_setup_cycles:
+        Fixed per-superstep cost of configuring the exchange, paid whenever
+        a superstep moves at least one byte.
+    sram_load_latency_cycles:
+        Latency of a tile-local load; with the Mk2's 64-bit loads a worker
+        retrieves *two* float32 values per issue (§IV-C, §IV-H), which the
+        codelet cost formulas account for.
+    host_io_bandwidth_bytes_per_s:
+        Host link bandwidth used by HostRead/HostWrite programs.
+    num_ipus:
+        Chips in the system.  §III: "On a multi-IPU architecture, the
+        exchange fabric extends to all tiles on all of the IPUs" — tiles
+        are addressed flat across chips (``num_tiles`` is per chip), but
+        bytes crossing a chip boundary travel over IPU-Links, which are an
+        order of magnitude slower than the on-chip fabric.
+    inter_ipu_bandwidth_bytes_per_s:
+        Aggregate IPU-Link bandwidth per chip (Mk2: 10 links × 32 GB/s).
+    """
+
+    num_tiles: int = 1472
+    threads_per_tile: int = 6
+    tile_memory_bytes: int = 624 * KIB
+    clock_hz: float = 1.325e9
+    exchange_bandwidth_bytes_per_s: float = 8e12
+    sync_cycles: int = 150
+    exchange_setup_cycles: int = 100
+    sram_load_latency_cycles: int = 6
+    host_io_bandwidth_bytes_per_s: float = 32e9
+    num_ipus: int = 1
+    inter_ipu_bandwidth_bytes_per_s: float = 320e9
+
+    def __post_init__(self) -> None:
+        if self.num_tiles < 1:
+            raise ValueError("an IPU needs at least one tile")
+        if self.threads_per_tile < 1:
+            raise ValueError("each tile needs at least one worker thread")
+        if self.tile_memory_bytes < 1:
+            raise ValueError("tile memory must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.exchange_bandwidth_bytes_per_s <= 0:
+            raise ValueError("exchange bandwidth must be positive")
+        if self.num_ipus < 1:
+            raise ValueError("a system needs at least one IPU")
+        if self.inter_ipu_bandwidth_bytes_per_s <= 0:
+            raise ValueError("IPU-Link bandwidth must be positive")
+
+    # ------------------------------------------------------------------
+    # Named configurations
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def mk2(cls) -> "IPUSpec":
+        """The Colossus Mk2 GC200 used in the paper's experiments."""
+        return cls()
+
+    @classmethod
+    def m2000(cls, num_ipus: int = 4) -> "IPUSpec":
+        """An IPU-M2000-style system: several Mk2 chips over IPU-Links."""
+        return cls(num_ipus=num_ipus)
+
+    @classmethod
+    def toy(
+        cls,
+        num_tiles: int = 4,
+        threads_per_tile: int = 6,
+        num_ipus: int = 1,
+    ) -> "IPUSpec":
+        """A tiny spec for unit tests: few tiles, small memory."""
+        return cls(
+            num_tiles=num_tiles,
+            threads_per_tile=threads_per_tile,
+            tile_memory_bytes=64 * KIB,
+            sync_cycles=10,
+            exchange_setup_cycles=5,
+            num_ipus=num_ipus,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def total_tiles(self) -> int:
+        """Addressable tiles across every chip (flat tile ids)."""
+        return self.num_tiles * self.num_ipus
+
+    @property
+    def total_threads(self) -> int:
+        """System-wide worker-thread count (8832 on one Mk2)."""
+        return self.total_tiles * self.threads_per_tile
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """System-wide in-processor memory (~900 MiB per Mk2)."""
+        return self.total_tiles * self.tile_memory_bytes
+
+    def ipu_of(self, tile: int) -> int:
+        """Which chip a flat tile id lives on."""
+        if not 0 <= tile < self.total_tiles:
+            raise ValueError(
+                f"tile {tile} out of range for {self.total_tiles} tiles"
+            )
+        return tile // self.num_tiles
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into modeled seconds."""
+        return float(cycles) / self.clock_hz
+
+    def exchange_seconds(self, num_bytes: int, inter_ipu_bytes: int = 0) -> float:
+        """Time for one superstep's exchange phase.
+
+        ``num_bytes`` travel the on-chip fabric; ``inter_ipu_bytes``
+        additionally cross chip boundaries over IPU-Links (much slower).
+        The two transfers overlap, so the phase costs the slower of them
+        plus the setup constant.
+        """
+        if num_bytes <= 0 and inter_ipu_bytes <= 0:
+            return 0.0
+        setup = self.cycles_to_seconds(self.exchange_setup_cycles)
+        on_chip = num_bytes / self.exchange_bandwidth_bytes_per_s
+        cross_chip = inter_ipu_bytes / self.inter_ipu_bandwidth_bytes_per_s
+        return setup + max(on_chip, cross_chip)
+
+    def sync_seconds(self) -> float:
+        """Time for the synchronization phase of one superstep."""
+        return self.cycles_to_seconds(self.sync_cycles)
+
+    def host_io_seconds(self, num_bytes: int) -> float:
+        """Time for a host<->device transfer of ``num_bytes``."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.host_io_bandwidth_bytes_per_s

@@ -1,0 +1,23 @@
+"""LSAP problem layer: instances, results, and certificates."""
+
+from repro.lap.problem import LAPInstance
+from repro.lap.rectangular import solve_rectangular
+from repro.lap.result import AssignmentResult
+from repro.lap.validation import (
+    assert_valid_result,
+    check_optimality,
+    check_perfect_matching,
+    check_potentials,
+    extract_potentials,
+)
+
+__all__ = [
+    "LAPInstance",
+    "AssignmentResult",
+    "solve_rectangular",
+    "assert_valid_result",
+    "check_optimality",
+    "check_perfect_matching",
+    "check_potentials",
+    "extract_potentials",
+]

@@ -1,0 +1,155 @@
+"""The Linear Sum Assignment Problem (LSAP) instance type.
+
+The paper (§II) defines LSAP on a complete bipartite graph ``G = (P, Q, E)``
+with a positive real cost matrix ``C``; without loss of generality it assumes
+``|P| == |Q| == n``.  :class:`LAPInstance` encodes that object, validates it,
+and provides the two transformations the paper's evaluation needs:
+
+* **padding** to the next power-of-two size (FastHA "can only operate on
+  matrix size 2^m", §V-C), and
+* **maximization → minimization** (graph alignment maximizes similarity; the
+  Hungarian algorithm minimizes cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+
+__all__ = ["LAPInstance"]
+
+
+def _next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (and >= 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+@dataclasses.dataclass(frozen=True)
+class LAPInstance:
+    """A validated square LSAP instance.
+
+    Parameters
+    ----------
+    costs:
+        Square ``(n, n)`` float64 array.  Entry ``costs[i, j]`` is the cost of
+        assigning agent ``i`` (a node of ``P``) to task ``j`` (a node of
+        ``Q``).  Costs must be finite; they may be zero or negative (the
+        initial-subtraction step shifts them), though the paper assumes
+        positive costs.
+    name:
+        Optional human-readable label used in benchmark reports.
+    """
+
+    costs: np.ndarray
+    name: str = "lap"
+
+    def __post_init__(self) -> None:
+        costs = np.asarray(self.costs, dtype=np.float64)
+        if costs.ndim != 2:
+            raise InvalidProblemError(
+                f"cost matrix must be 2-D, got shape {costs.shape}"
+            )
+        if costs.shape[0] != costs.shape[1]:
+            raise InvalidProblemError(
+                "cost matrix must be square (pad rectangular problems with "
+                f"LAPInstance.from_rectangular), got shape {costs.shape}"
+            )
+        if costs.shape[0] == 0:
+            raise InvalidProblemError("cost matrix must be non-empty")
+        if not np.all(np.isfinite(costs)):
+            raise InvalidProblemError("cost matrix contains NaN or infinity")
+        costs = costs.copy()
+        costs.setflags(write=False)
+        object.__setattr__(self, "costs", costs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rectangular(
+        cls, costs: np.ndarray, *, pad_value: float | None = None, name: str = "lap"
+    ) -> "LAPInstance":
+        """Build a square instance from an ``(n, m)`` matrix by padding.
+
+        The added rows/columns get ``pad_value`` (default: 0.0, which is what
+        the paper uses when padding similarity matrices for FastHA).  Note
+        that padding a *cost* matrix with cheap values can attract original
+        rows to padding columns; pad similarities before converting to costs
+        (as :func:`repro.alignment.pipeline.align` does) when the restricted
+        matching matters.
+        """
+        costs = np.asarray(costs, dtype=np.float64)
+        if costs.ndim != 2:
+            raise InvalidProblemError(
+                f"cost matrix must be 2-D, got shape {costs.shape}"
+            )
+        n, m = costs.shape
+        size = max(n, m)
+        fill = 0.0 if pad_value is None else float(pad_value)
+        padded = np.full((size, size), fill, dtype=np.float64)
+        padded[:n, :m] = costs
+        return cls(padded, name=name)
+
+    @classmethod
+    def from_similarity(
+        cls, similarity: np.ndarray, *, name: str = "lap"
+    ) -> "LAPInstance":
+        """Turn a similarity matrix (to be maximized) into a cost instance.
+
+        Uses the standard ``max(S) - S`` transformation, which preserves the
+        argmax assignment while producing non-negative costs.
+        """
+        similarity = np.asarray(similarity, dtype=np.float64)
+        if similarity.size == 0:
+            raise InvalidProblemError("similarity matrix must be non-empty")
+        if not np.all(np.isfinite(similarity)):
+            raise InvalidProblemError("similarity matrix contains NaN or infinity")
+        costs = similarity.max() - similarity
+        if costs.shape[0] != costs.shape[1]:
+            return cls.from_rectangular(costs, name=name)
+        return cls(costs, name=name)
+
+    # ------------------------------------------------------------------
+    # Properties and transformations
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """The number of agents (== number of tasks)."""
+        return int(self.costs.shape[0])
+
+    @property
+    def is_power_of_two(self) -> bool:
+        """Whether the instance size is already a power of two."""
+        return self.size == _next_power_of_two(self.size)
+
+    def padded_to_power_of_two(self, *, pad_value: float = 0.0) -> "LAPInstance":
+        """Pad to the next 2^m size, as required by FastHA (§V-C).
+
+        Padding rows and columns are filled with ``pad_value`` so the padded
+        optimum restricted to the original indices stays optimal.
+        """
+        size = _next_power_of_two(self.size)
+        if size == self.size:
+            return self
+        padded = np.full((size, size), float(pad_value), dtype=np.float64)
+        padded[: self.size, : self.size] = self.costs
+        return LAPInstance(padded, name=f"{self.name}-padded{size}")
+
+    def total_cost(self, assignment: np.ndarray) -> float:
+        """Sum of costs along a column-for-each-row assignment vector."""
+        assignment = np.asarray(assignment)
+        if assignment.shape != (self.size,):
+            raise InvalidProblemError(
+                f"assignment must have shape ({self.size},), got {assignment.shape}"
+            )
+        return float(self.costs[np.arange(self.size), assignment].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LAPInstance(name={self.name!r}, size={self.size})"

@@ -1,0 +1,67 @@
+"""Rectangular LSAP convenience: n agents, m tasks, n ≠ m.
+
+The paper (§II) assumes square instances WLOG; real workloads often are
+not.  :func:`solve_rectangular` reduces an ``(r, c)`` problem to the
+square solvers in this library by constant-padding the short side — a
+valid reduction because every padding row/column contributes the same
+constant to every completion, so the optimum restricted to the real side
+is the optimal rectangular assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.lap.problem import LAPInstance
+
+__all__ = ["solve_rectangular"]
+
+
+def solve_rectangular(solver, costs: np.ndarray) -> tuple[np.ndarray, float]:
+    """Minimum-cost assignment of ``min(r, c)`` agent/task pairs.
+
+    Parameters
+    ----------
+    solver:
+        Any library solver (``solve(LAPInstance) -> AssignmentResult``).
+    costs:
+        ``(r, c)`` float matrix; rows are agents, columns tasks.
+
+    Returns
+    -------
+    (assignment, total_cost)
+        ``assignment`` has length ``r``; entry ``i`` is the column matched
+        to row ``i``, or ``-1`` when ``r > c`` and row ``i`` is left
+        unassigned.  ``total_cost`` sums the matched entries only.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 2 or costs.size == 0:
+        raise InvalidProblemError(
+            f"costs must be a non-empty 2-D matrix, got shape {costs.shape}"
+        )
+    rows, cols = costs.shape
+    if rows == cols:
+        result = solver.solve(LAPInstance(costs))
+        return np.asarray(result.assignment), float(result.total_cost)
+
+    transposed = rows > cols
+    work = costs.T if transposed else costs
+    short, wide = work.shape
+    # Pad the short side with a row-constant strictly above the data range
+    # so padding never competes numerically with real entries.
+    pad_value = float(work.max()) + 1.0
+    padded = np.full((wide, wide), pad_value, dtype=np.float64)
+    padded[:short, :] = work
+    result = solver.solve(LAPInstance(padded))
+    head = np.asarray(result.assignment[:short])
+
+    if transposed:
+        # ``head[j]`` is the row matched to (real) column j of the original.
+        assignment = np.full(rows, -1, dtype=np.int64)
+        assignment[head] = np.arange(short)
+        matched = costs[head, np.arange(short)].sum()
+    else:
+        assignment = head
+        matched = costs[np.arange(short), head].sum()
+    return assignment, float(matched)

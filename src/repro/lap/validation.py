@@ -1,0 +1,146 @@
+"""Validity and optimality checks for LSAP assignments.
+
+Two independent certificates are provided:
+
+* :func:`check_perfect_matching` — structural: the assignment is a
+  permutation, i.e. a perfect matching of the complete bipartite graph (§II).
+* :func:`check_optimality` — an LP-duality certificate.  The dual of LSAP has
+  row potentials ``u`` and column potentials ``v`` with feasibility
+  ``u[i] + v[j] <= C[i, j]``; an assignment is optimal iff there exist
+  feasible potentials tight (equality) on every matched edge (complementary
+  slackness).  :func:`extract_potentials` recovers such potentials from the
+  *slack matrix* a Hungarian-style solver terminates with, since the total
+  subtraction applied to each row/column is exactly a feasible potential.
+
+Both checks are used by the test-suite's differential harness and are cheap
+enough to run after every solve in examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lap.problem import LAPInstance
+from repro.lap.result import AssignmentResult
+
+__all__ = [
+    "check_perfect_matching",
+    "check_optimality",
+    "check_potentials",
+    "extract_potentials",
+    "assert_valid_result",
+]
+
+#: Relative/absolute tolerance for floating-point certificate checks.  The
+#: Hungarian algorithm only adds and subtracts entries, so errors stay tiny,
+#: but repeated Step-6 updates accumulate a few ulps.
+_ATOL = 1e-6
+_RTOL = 1e-9
+
+
+def check_perfect_matching(assignment: np.ndarray, size: int) -> None:
+    """Raise :class:`SolverError` unless ``assignment`` is a permutation."""
+    assignment = np.asarray(assignment)
+    if assignment.shape != (size,):
+        raise SolverError(
+            f"assignment has shape {assignment.shape}, expected ({size},)"
+        )
+    if assignment.min(initial=0) < 0 or assignment.max(initial=-1) >= size:
+        raise SolverError("assignment contains out-of-range column indices")
+    if np.unique(assignment).size != size:
+        raise SolverError("assignment repeats a column: not a perfect matching")
+
+
+def check_potentials(
+    instance: LAPInstance, u: np.ndarray, v: np.ndarray, assignment: np.ndarray
+) -> None:
+    """Verify the dual certificate ``(u, v)`` against ``assignment``.
+
+    Checks dual feasibility (``u_i + v_j <= C_ij`` up to tolerance) and
+    complementary slackness (equality on matched edges).
+    """
+    costs = instance.costs
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if u.shape != (instance.size,) or v.shape != (instance.size,):
+        raise SolverError("potentials have the wrong shape")
+    slack = costs - u[:, None] - v[None, :]
+    tolerance = _ATOL + _RTOL * max(1.0, float(np.abs(costs).max()))
+    if slack.min() < -tolerance:
+        raise SolverError(
+            f"dual infeasible: min slack {slack.min():.3e} < -{tolerance:.3e}"
+        )
+    matched_slack = slack[np.arange(instance.size), assignment]
+    if np.abs(matched_slack).max() > tolerance:
+        raise SolverError(
+            "complementary slackness violated: matched edge slack up to "
+            f"{np.abs(matched_slack).max():.3e}"
+        )
+
+
+def extract_potentials(
+    instance: LAPInstance, final_slack: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Recover dual potentials from a terminal slack matrix.
+
+    A Hungarian solver transforms ``C`` into ``S = C - u 1^T - 1 v^T`` for
+    some (implicit) potentials.  Given ``S`` we recover one valid pair by
+    solving the rank-1 structure: ``u_i = (C - S)[i, 0] - v_0`` with
+    ``v_0 = 0`` and ``v_j = (C - S)[0, j] - u_0``.  The reconstruction is
+    validated against the whole matrix and raises if ``C - S`` is not rank-1
+    in the required sense (which would mean the solver corrupted the slack).
+    """
+    final_slack = np.asarray(final_slack, dtype=np.float64)
+    if final_slack.shape != instance.costs.shape:
+        raise SolverError("slack matrix shape does not match the instance")
+    reduction = instance.costs - final_slack
+    v = reduction[0, :].copy()
+    u = reduction[:, 0] - v[0]
+    reconstructed = u[:, None] + v[None, :]
+    tolerance = _ATOL + _RTOL * max(1.0, float(np.abs(instance.costs).max()))
+    if np.abs(reduction - reconstructed).max() > tolerance * 10:
+        raise SolverError(
+            "terminal slack is not a valid potential reduction of the costs"
+        )
+    return u, v
+
+
+def check_optimality(
+    instance: LAPInstance,
+    result: AssignmentResult,
+    *,
+    final_slack: np.ndarray | None = None,
+) -> None:
+    """Certify that ``result`` is an optimal assignment for ``instance``.
+
+    If the solver exposes its terminal slack matrix, a full dual certificate
+    is checked; otherwise the result's cost is compared against the scipy
+    oracle (exact optimum for these sizes).
+    """
+    check_perfect_matching(result.assignment, instance.size)
+    realized = instance.total_cost(result.assignment)
+    tolerance = _ATOL + _RTOL * max(1.0, float(np.abs(instance.costs).max()))
+    if abs(realized - result.total_cost) > tolerance * instance.size:
+        raise SolverError(
+            f"reported total cost {result.total_cost!r} disagrees with the "
+            f"cost matrix ({realized!r})"
+        )
+    if final_slack is not None:
+        u, v = extract_potentials(instance, final_slack)
+        check_potentials(instance, u, v, result.assignment)
+        return
+    # Fall back to the exact oracle.
+    from scipy.optimize import linear_sum_assignment
+
+    rows, cols = linear_sum_assignment(instance.costs)
+    optimum = float(instance.costs[rows, cols].sum())
+    if realized > optimum + tolerance * instance.size:
+        raise SolverError(
+            f"assignment cost {realized:.9g} exceeds the optimum {optimum:.9g}"
+        )
+
+
+def assert_valid_result(instance: LAPInstance, result: AssignmentResult) -> None:
+    """Convenience: structural + oracle optimality check in one call."""
+    check_optimality(instance, result)

@@ -1,0 +1,110 @@
+"""Tests for the GRAMPA spectral similarity."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.grampa import DEFAULT_ETA, adjacency_matrix, grampa_similarity
+from repro.errors import InvalidProblemError
+
+
+def _random_graph(n, p, seed):
+    return nx.gnp_random_graph(n, p, seed=seed)
+
+
+class TestBasics:
+    def test_default_eta_is_paper_value(self):
+        assert DEFAULT_ETA == 0.2
+
+    def test_adjacency_sorted_nodes(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([2, 0, 1])
+        graph.add_edge(0, 2)
+        adj = adjacency_matrix(graph)
+        assert adj[0, 2] == 1
+        assert adj[2, 0] == 1
+        assert adj.sum() == 2
+
+    def test_shape(self):
+        g = _random_graph(10, 0.3, 1)
+        similarity = grampa_similarity(g, g)
+        assert similarity.shape == (10, 10)
+
+    def test_rejects_nonpositive_eta(self):
+        g = _random_graph(4, 0.5, 0)
+        with pytest.raises(InvalidProblemError, match="eta"):
+            grampa_similarity(g, g, eta=0.0)
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(InvalidProblemError, match="differ"):
+            grampa_similarity(np.zeros((3, 3)), np.zeros((4, 4)))
+
+    def test_rejects_asymmetric(self):
+        asym = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(InvalidProblemError, match="symmetric"):
+            grampa_similarity(asym, asym.copy())
+
+    def test_rejects_non_square(self):
+        flat = np.zeros((2, 3))
+        sym = np.zeros((3, 3))
+        with pytest.raises(InvalidProblemError):
+            grampa_similarity(flat, sym)
+
+
+class TestMathematicalProperties:
+    def test_self_similarity_diagonal_dominates(self):
+        """Aligning a graph with itself: the true (identity) match should
+        carry the highest total similarity."""
+        g = _random_graph(12, 0.4, 3)
+        similarity = grampa_similarity(g, g)
+        diagonal = np.trace(similarity)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            perm = rng.permutation(12)
+            if np.array_equal(perm, np.arange(12)):
+                continue
+            shuffled = similarity[np.arange(12), perm].sum()
+            assert diagonal >= shuffled - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(3, 12), seed=st.integers(0, 500))
+    def test_permutation_equivariance(self, n, seed):
+        """S(A, PBPᵀ) == S(A, B) P^T — relabeling the second graph permutes
+        the similarity columns."""
+        gen = np.random.default_rng(seed)
+        a = gen.integers(0, 2, (n, n))
+        a = np.triu(a, 1)
+        a = (a + a.T).astype(float)
+        b = gen.integers(0, 2, (n, n))
+        b = np.triu(b, 1)
+        b = (b + b.T).astype(float)
+        perm = gen.permutation(n)
+        p = np.eye(n)[perm]
+        base = grampa_similarity(a, b)
+        relabeled = grampa_similarity(a, p @ b @ p.T)
+        assert np.allclose(relabeled, base @ p.T, atol=1e-8)
+
+    def test_formula_matches_naive_sum(self):
+        """The efficient U(W∘(uᵀJv))Vᵀ form equals the definition's
+        explicit double sum over eigenpairs."""
+        gen = np.random.default_rng(9)
+        n = 6
+        a = gen.integers(0, 2, (n, n))
+        a = ((np.triu(a, 1)) + np.triu(a, 1).T).astype(float)
+        b = gen.integers(0, 2, (n, n))
+        b = ((np.triu(b, 1)) + np.triu(b, 1).T).astype(float)
+        eta = 0.2
+        lam, u = np.linalg.eigh(a)
+        mu, v = np.linalg.eigh(b)
+        ones = np.ones((n, n))
+        naive = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                w = 1.0 / ((lam[i] - mu[j]) ** 2 + eta**2)
+                naive += w * np.outer(u[:, i], u[:, i]) @ ones @ np.outer(
+                    v[:, j], v[:, j]
+                )
+        fast = grampa_similarity(a, b, eta=eta)
+        assert np.allclose(fast, naive, atol=1e-8)

@@ -1,0 +1,119 @@
+"""Tests for the noise model, metrics, and the end-to-end pipeline."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.alignment.evaluation import edge_correctness, node_correctness
+from repro.alignment.noise import noisy_copy
+from repro.alignment.pipeline import align, align_noisy_copy
+from repro.baselines.cpu_lapjv import LAPJVSolver
+from repro.baselines.fastha import FastHASolver
+from repro.core.solver import HunIPUSolver
+from repro.errors import InvalidProblemError
+from repro.ipu.spec import IPUSpec
+
+
+def _ring(n):
+    graph = nx.cycle_graph(n)
+    return graph
+
+
+@pytest.fixture
+def small_graph():
+    return nx.gnp_random_graph(20, 0.35, seed=4)
+
+
+class TestNoise:
+    def test_retention_counts(self, small_graph):
+        copy = noisy_copy(small_graph, 0.8, rng=1)
+        expected = round(0.8 * small_graph.number_of_edges())
+        assert copy.kept_edges == expected
+        assert copy.copy.number_of_edges() == expected
+        assert copy.edge_retention == pytest.approx(0.8, abs=0.05)
+
+    def test_truth_is_permutation(self, small_graph):
+        copy = noisy_copy(small_graph, 0.9, rng=2)
+        assert sorted(copy.truth.tolist()) == list(range(20))
+
+    def test_full_retention_preserves_structure(self, small_graph):
+        copy = noisy_copy(small_graph, 1.0, rng=3)
+        # Relabeling back with the truth recovers the original edge set.
+        inverse = np.empty(20, dtype=int)
+        inverse[copy.truth] = np.arange(20)
+        recovered = {
+            tuple(sorted((inverse[u], inverse[v]))) for u, v in copy.copy.edges
+        }
+        original = {tuple(sorted(edge)) for edge in small_graph.edges}
+        assert recovered == original
+
+    def test_no_shuffle_mode(self, small_graph):
+        copy = noisy_copy(small_graph, 1.0, rng=4, shuffle=False)
+        assert np.array_equal(copy.truth, np.arange(20))
+
+    def test_rejects_bad_retention(self, small_graph):
+        with pytest.raises(InvalidProblemError):
+            noisy_copy(small_graph, 0.0)
+        with pytest.raises(InvalidProblemError):
+            noisy_copy(small_graph, 1.5)
+
+    def test_rejects_non_contiguous_labels(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(InvalidProblemError, match="0..n-1"):
+            noisy_copy(graph, 0.9)
+
+
+class TestMetrics:
+    def test_node_correctness(self):
+        assert node_correctness(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+        assert node_correctness(np.array([0, 2, 1]), np.array([0, 1, 2])) == pytest.approx(1 / 3)
+
+    def test_node_correctness_shape_mismatch(self):
+        with pytest.raises(InvalidProblemError):
+            node_correctness(np.array([0]), np.array([0, 1]))
+
+    def test_edge_correctness(self):
+        ring = _ring(4)
+        identity = np.arange(4)
+        assert edge_correctness(ring, ring, identity) == 1.0
+        empty = nx.empty_graph(4)
+        assert edge_correctness(ring, empty, identity) == 0.0
+        assert edge_correctness(empty, ring, identity) == 1.0
+
+
+class TestPipeline:
+    def test_recovers_identity_on_clean_copy(self, small_graph):
+        copy = noisy_copy(small_graph, 1.0, rng=5)
+        result, accuracy = align_noisy_copy(small_graph, copy, LAPJVSolver())
+        assert accuracy == 1.0
+        assert node_correctness(result.mapping, copy.truth) == 1.0
+
+    def test_hunipu_and_lapjv_agree_on_matching_quality(self, small_graph):
+        copy = noisy_copy(small_graph, 0.95, rng=6)
+        hunipu = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        result_a, acc_a = align_noisy_copy(small_graph, copy, hunipu)
+        result_b, acc_b = align_noisy_copy(small_graph, copy, LAPJVSolver())
+        # Both solve the same LAP optimally: same total similarity.
+        assert result_a.lap_result.total_cost == pytest.approx(
+            result_b.lap_result.total_cost, rel=1e-9
+        )
+        assert acc_a == acc_b
+
+    def test_fastha_padding_applied(self, small_graph):
+        copy = noisy_copy(small_graph, 0.9, rng=7)
+        result, _ = align_noisy_copy(
+            small_graph, copy, FastHASolver(), pad_power_of_two=True
+        )
+        assert result.padded_size == 32  # 20 -> 32
+        assert result.mapping.shape == (20,)
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(InvalidProblemError, match="equal node counts"):
+            align(_ring(4), _ring(5), LAPJVSolver())
+
+    def test_device_time_exposed(self, small_graph):
+        copy = noisy_copy(small_graph, 0.9, rng=8)
+        hunipu = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        result, _ = align_noisy_copy(small_graph, copy, hunipu)
+        assert result.device_time_s > 0

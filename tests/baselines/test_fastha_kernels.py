@@ -1,0 +1,101 @@
+"""Tests for the kernel-executing FastHA and the GPU kernel library."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines.fastha import FastHASolver
+from repro.baselines.fastha_kernels import FastHAKernelSolver
+from repro.errors import GPUSimulationError, SolverError
+from repro.gpu.kernels import KernelLibrary
+from repro.gpu.simt import GPUDevice
+from repro.lap.problem import LAPInstance
+
+
+class TestKernelLibrary:
+    @pytest.fixture
+    def kernels(self):
+        return KernelLibrary(GPUDevice())
+
+    def test_upload_charges_pcie(self, kernels):
+        kernels.upload("buf", np.zeros((64, 64)))
+        profile = kernels.device.profile()
+        assert profile.host_syncs == 1
+        assert profile.sync_seconds > kernels.device.spec.host_sync_s
+
+    def test_row_min_subtract(self, kernels):
+        slack = kernels.upload("slack", np.array([[3.0, 1.0], [5.0, 9.0]]))
+        kernels.row_min_subtract(slack)
+        assert slack.array.tolist() == [[2.0, 0.0], [0.0, 4.0]]
+
+    def test_find_uncovered_zero_row_major(self, kernels):
+        matrix = np.ones((3, 3))
+        matrix[1, 2] = 0.0
+        matrix[2, 0] = 0.0
+        slack = kernels.upload("slack", matrix)
+        row_cover = kernels.alloc_zeros("rc", (3,), np.int8)
+        col_cover = kernels.alloc_zeros("cc", (3,), np.int8)
+        assert kernels.find_uncovered_zero(slack, row_cover, col_cover, 0.0) == (1, 2)
+        row_cover.array[1] = 1
+        assert kernels.find_uncovered_zero(slack, row_cover, col_cover, 0.0) == (2, 0)
+        row_cover.array[2] = 1
+        assert kernels.find_uncovered_zero(slack, row_cover, col_cover, 0.0) is None
+
+    def test_min_uncovered_raises_on_empty_region(self, kernels):
+        slack = kernels.upload("slack", np.ones((2, 2)))
+        row_cover = kernels.alloc_zeros("rc", (2,), np.int8)
+        col_cover = kernels.alloc_zeros("cc", (2,), np.int8)
+        row_cover.array[:] = 1
+        with pytest.raises(GPUSimulationError):
+            kernels.min_uncovered(slack, row_cover, col_cover)
+
+    def test_add_subtract_update_rule(self, kernels):
+        slack = kernels.upload("slack", np.full((2, 2), 4.0))
+        row_cover = kernels.alloc_zeros("rc", (2,), np.int8)
+        col_cover = kernels.alloc_zeros("cc", (2,), np.int8)
+        row_cover.array[0] = 1
+        col_cover.array[0] = 1
+        kernels.add_subtract_update(slack, row_cover, col_cover, 2.0)
+        assert slack.array.tolist() == [[6.0, 4.0], [4.0, 2.0]]
+
+    def test_buffers_respect_vram(self):
+        from repro.gpu.spec import GPUSpec
+
+        device = GPUDevice(GPUSpec(vram_bytes=100))
+        kernels = KernelLibrary(device)
+        with pytest.raises(GPUSimulationError, match="out of device memory"):
+            kernels.alloc_zeros("big", (1000,), np.float64)
+
+
+class TestKernelSolver:
+    @pytest.mark.parametrize("n", [1, 4, 16, 32])
+    def test_optimal_on_random_instances(self, rng, n):
+        costs = rng.uniform(1, 10 * n, (n, n))
+        result = FastHAKernelSolver().solve(LAPInstance(costs))
+        rows, cols = linear_sum_assignment(costs)
+        assert result.total_cost == pytest.approx(
+            float(costs[rows, cols].sum()), abs=1e-7
+        )
+
+    def test_tie_heavy_instance(self, rng):
+        costs = rng.integers(0, 3, (16, 16)).astype(float)
+        result = FastHAKernelSolver().solve(LAPInstance(costs))
+        rows, cols = linear_sum_assignment(costs)
+        assert result.total_cost == pytest.approx(float(costs[rows, cols].sum()))
+
+    def test_requires_power_of_two(self, rng):
+        with pytest.raises(SolverError, match="2\\^m"):
+            FastHAKernelSolver().solve(LAPInstance(rng.uniform(0, 1, (5, 5))))
+
+    def test_cost_regime_matches_observer_edition(self, rng):
+        """The executing and event-charged editions agree on the regime:
+        same optimum, launch counts within a few percent, modeled times
+        within ~40% (the kernel edition adds per-hop readback syncs)."""
+        instance = LAPInstance(rng.uniform(1, 640, (64, 64)))
+        kernel = FastHAKernelSolver().solve(instance)
+        observer = FastHASolver().solve(instance)
+        assert kernel.total_cost == pytest.approx(observer.total_cost)
+        ratio = kernel.stats["kernel_launches"] / observer.stats["kernel_launches"]
+        assert 0.8 < ratio < 1.2
+        time_ratio = kernel.device_time_s / observer.device_time_s
+        assert 0.7 < time_ratio < 1.6

@@ -1,0 +1,122 @@
+"""Tests for the reference cover-based Munkres solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines.munkres_reference import (
+    MunkresObserver,
+    OpCounter,
+    solve_munkres,
+    zero_tolerance,
+)
+from repro.errors import SolverError
+
+
+def _optimum(costs):
+    rows, cols = linear_sum_assignment(costs)
+    return float(costs[rows, cols].sum())
+
+
+class TestOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(1, 20), seed=st.integers(0, 100_000))
+    def test_random_float_instances(self, n, seed):
+        costs = np.random.default_rng(seed).uniform(0, 100, (n, n))
+        outcome = solve_munkres(costs)
+        got = costs[np.arange(n), outcome.assignment].sum()
+        assert got == pytest.approx(_optimum(costs), abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 16), seed=st.integers(0, 100_000))
+    def test_tie_heavy_integer_instances(self, n, seed):
+        costs = np.random.default_rng(seed).integers(0, 3, (n, n)).astype(float)
+        outcome = solve_munkres(costs)
+        got = costs[np.arange(n), outcome.assignment].sum()
+        assert got == pytest.approx(_optimum(costs), abs=1e-9)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(SolverError, match="square"):
+            solve_munkres(np.zeros((2, 3)))
+
+    def test_terminal_slack_nonnegative_and_tight(self):
+        costs = np.random.default_rng(1).uniform(0, 50, (12, 12))
+        outcome = solve_munkres(costs)
+        tol = zero_tolerance(costs)
+        assert outcome.final_slack.min() >= -tol
+        matched = outcome.final_slack[
+            np.arange(12), outcome.assignment
+        ]
+        assert np.abs(matched).max() <= tol * 10
+
+
+class TestCounters:
+    def test_ops_counted(self):
+        ops = OpCounter()
+        solve_munkres(np.random.default_rng(2).uniform(0, 9, (10, 10)), ops=ops)
+        assert ops.scan_ops > 0
+        assert ops.update_ops > 0
+        assert ops.reduce_ops > 0
+        assert ops.total() == (
+            ops.scan_ops + ops.update_ops + ops.reduce_ops + ops.bookkeeping_ops
+        )
+
+    def test_ops_grow_superlinearly_with_n(self):
+        rng = np.random.default_rng(3)
+        small_ops, large_ops = OpCounter(), OpCounter()
+        solve_munkres(rng.uniform(0, 160, (16, 16)), ops=small_ops)
+        solve_munkres(rng.uniform(0, 640, (64, 64)), ops=large_ops)
+        assert large_ops.total() > small_ops.total() * (64 / 16) ** 2
+
+    def test_augmentations_bounded_by_n(self):
+        outcome = solve_munkres(np.random.default_rng(4).uniform(0, 9, (15, 15)))
+        assert 0 <= outcome.augmentations <= 15
+
+
+class TestObserver:
+    def test_events_fire_in_plausible_counts(self):
+        class Recorder(MunkresObserver):
+            def __init__(self):
+                self.counts = {}
+                self.path_lengths = []
+
+            def on_initial_subtract(self, n):
+                self.counts["subtract"] = self.counts.get("subtract", 0) + 1
+
+            def on_greedy_init(self, n):
+                self.counts["greedy"] = self.counts.get("greedy", 0) + 1
+
+            def on_cover_columns(self, n):
+                self.counts["cover"] = self.counts.get("cover", 0) + 1
+
+            def on_zero_scan(self, n, found):
+                self.counts["scan"] = self.counts.get("scan", 0) + 1
+
+            def on_prime(self, n):
+                self.counts["prime"] = self.counts.get("prime", 0) + 1
+
+            def on_slack_update(self, n):
+                self.counts["update"] = self.counts.get("update", 0) + 1
+
+            def on_augment(self, n, path_length):
+                self.counts["augment"] = self.counts.get("augment", 0) + 1
+                self.path_lengths.append(path_length)
+
+        recorder = Recorder()
+        n = 14
+        outcome = solve_munkres(
+            np.random.default_rng(5).uniform(0, 140, (n, n)), observer=recorder
+        )
+        assert recorder.counts["subtract"] == 1
+        assert recorder.counts["greedy"] == 1
+        assert recorder.counts["augment"] == outcome.augmentations
+        assert recorder.counts["update"] == outcome.slack_updates
+        assert recorder.counts["prime"] + recorder.counts["augment"] == outcome.primes
+        # Every scan either finds a zero (prime) or triggers an update.
+        assert recorder.counts["scan"] == outcome.primes + outcome.slack_updates
+        assert all(length >= 1 for length in recorder.path_lengths)
+        # Augmentations add exactly one star each: path flips |primes|,
+        # and total stars at the end is n.
+        assert recorder.counts["cover"] == outcome.augmentations + 1

@@ -1,0 +1,131 @@
+"""Tests for the CPU, LAPJV, scipy-oracle and FastHA solver facades."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines.cpu_hungarian import CPUHungarianSolver, CPUSpec
+from repro.baselines.cpu_lapjv import LAPJVSolver, solve_lapjv
+from repro.baselines.fastha import FastHASolver
+from repro.baselines.munkres_reference import OpCounter
+from repro.baselines.scipy_reference import ScipySolver
+from repro.errors import SolverError
+from repro.lap.problem import LAPInstance
+from repro.lap.validation import check_perfect_matching, check_potentials
+
+
+def _optimum(costs):
+    rows, cols = linear_sum_assignment(costs)
+    return float(costs[rows, cols].sum())
+
+
+class TestCPUSolver:
+    def test_solves_and_models_time(self, rng):
+        costs = rng.uniform(1, 100, (20, 20))
+        result = CPUHungarianSolver().solve(LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-7)
+        assert result.device_time_s > 0
+        assert result.stats["machine"] == "amd-epyc-7742"
+
+    def test_model_seconds_formula(self):
+        spec = CPUSpec(
+            clock_hz=1e9,
+            scan_elements_per_cycle=1.0,
+            stream_elements_per_cycle=4.0,
+            bookkeeping_cycles_per_op=2.0,
+        )
+        ops = OpCounter(scan_ops=100, update_ops=40, reduce_ops=40, bookkeeping_ops=5)
+        assert spec.model_seconds(ops) == pytest.approx((100 + 20 + 10) / 1e9)
+
+    def test_epyc_clock(self):
+        assert CPUSpec.epyc_7742().clock_hz == pytest.approx(2.25e9)
+
+
+class TestLAPJV:
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 18), seed=st.integers(0, 100_000))
+    def test_optimal_with_valid_duals(self, n, seed):
+        costs = np.random.default_rng(seed).uniform(0, 100, (n, n))
+        assignment, u, v = solve_lapjv(costs)
+        check_perfect_matching(assignment, n)
+        got = costs[np.arange(n), assignment].sum()
+        assert got == pytest.approx(_optimum(costs), abs=1e-7)
+        check_potentials(LAPInstance(costs), u, v, assignment)
+
+    def test_facade_exposes_duals(self, rng):
+        costs = rng.uniform(0, 10, (8, 8))
+        result = LAPJVSolver().solve(LAPInstance(costs))
+        assert "dual_u" in result.stats
+        assert result.device_time_s is None
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(SolverError):
+            solve_lapjv(np.zeros((3, 4)))
+
+
+class TestScipyOracle:
+    def test_facade(self, rng):
+        costs = rng.uniform(0, 10, (9, 9))
+        result = ScipySolver().solve(LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs))
+        assert result.solver == "scipy-oracle"
+
+
+class TestFastHA:
+    def test_requires_power_of_two(self, rng):
+        solver = FastHASolver()
+        with pytest.raises(SolverError, match="2\\^m"):
+            solver.solve(LAPInstance(rng.uniform(0, 1, (5, 5))))
+
+    def test_solves_power_of_two(self, rng):
+        costs = rng.uniform(1, 100, (16, 16))
+        result = FastHASolver().solve(LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-7)
+        assert result.device_time_s > 0
+
+    def test_solve_padded_records_sizes(self, rng):
+        costs = rng.uniform(1, 10, (11, 11))
+        result = FastHASolver().solve_padded(LAPInstance(costs))
+        assert result.stats["padded_from"] == 11
+        assert result.stats["padded_to"] == 16
+        assert result.size == 16
+
+    def test_padded_solve_is_optimal_for_padded_matrix(self, rng):
+        """The padded solve is exact for the padded problem (what the
+        paper times); zero padding can only lower the total cost."""
+        costs = rng.uniform(1, 10, (6, 6))
+        instance = LAPInstance(costs)
+        result = FastHASolver().solve_padded(instance)
+        padded = instance.padded_to_power_of_two()
+        assert result.total_cost == pytest.approx(_optimum(padded.costs), abs=1e-7)
+        assert result.total_cost <= _optimum(costs) + 1e-9
+
+    def test_profile_contains_hungarian_kernels(self, rng):
+        costs = rng.uniform(1, 100, (32, 32))
+        result = FastHASolver().solve(LAPInstance(costs))
+        profile = result.stats["gpu_profile"]
+        names = {record.name for record in profile.records}
+        assert "find_uncovered_zero" in names
+        assert "add_subtract_update" in names
+        assert result.stats["host_syncs"] > 0
+
+    def test_launch_overhead_dominates_small_kernels(self, rng):
+        """The paper's mechanism: search kernels are launch-bound."""
+        costs = rng.uniform(1, 320, (32, 32))
+        result = FastHASolver().solve(LAPInstance(costs))
+        profile = result.stats["gpu_profile"]
+        record = profile.record_named("find_uncovered_zero")
+        assert record.launch_seconds > record.memory_seconds
+
+    def test_fastha_slower_than_launchfree_equivalent(self, rng):
+        """More primes => more launches => more modeled time."""
+        rng_local = np.random.default_rng(0)
+        small = FastHASolver().solve(
+            LAPInstance(rng_local.uniform(1, 160, (16, 16)))
+        )
+        large = FastHASolver().solve(
+            LAPInstance(rng_local.uniform(1, 640, (64, 64)))
+        )
+        assert large.device_time_s > small.device_time_s

@@ -1,0 +1,85 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_grid, format_records
+from repro.bench.recording import BenchScale, RunRecord, environment_summary
+
+
+class TestFormatGrid:
+    def test_basic_layout(self):
+        table = format_grid(
+            "title",
+            ["a", "b"],
+            [1, 2],
+            {("a", 1): 1.5, ("a", 2): 2.5, ("b", 1): 3.5},
+        )
+        assert "title" in table
+        lines = table.splitlines()
+        assert lines[1].split() == ["1", "2"]
+        assert "1.50" in table
+        assert "-" in lines[-1]  # missing (b, 2) renders as '-'
+
+    def test_custom_formatter(self):
+        table = format_grid("t", ["x"], ["c"], {("x", "c"): 3.14159},
+                            fmt=lambda v: f"{v:.4f}")
+        assert "3.1416" in table
+
+
+class TestRecords:
+    def test_device_ms(self):
+        record = RunRecord("e", "s", {}, 0.5, 1.0)
+        assert record.device_ms == 500.0
+        assert RunRecord("e", "s", {}, None, 1.0).device_ms is None
+
+    def test_format_records_listing(self):
+        records = [RunRecord("exp", "solver", {"n": 4}, 0.001, 0.1)]
+        listing = format_records(records)
+        assert "exp" in listing
+        assert "n=4" in listing
+
+
+class TestScales:
+    def test_three_scales_exist(self):
+        for name in ("quick", "default", "paper"):
+            scale = BenchScale.named(name)
+            assert scale.name == name
+
+    def test_paper_scale_matches_paper_grid(self):
+        paper = BenchScale.named("paper")
+        assert paper.table2_sizes == (512, 1024, 2048, 4096, 8192)
+        assert paper.table2_k == (1, 10, 100, 500, 1000, 5000, 10000)
+        assert paper.dataset_scale == 1.0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench scale"):
+            BenchScale.named("enormous")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert BenchScale.from_env().name == "quick"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert BenchScale.from_env().name == "default"
+
+    def test_environment_summary_keys(self):
+        summary = environment_summary()
+        assert {"python", "machine", "system", "scale"} <= set(summary)
+
+
+class TestExperimentResult:
+    def test_format_includes_tables_and_notes(self):
+        result = ExperimentResult(
+            "exp", "quick", (), ("table body",), ("note one",)
+        )
+        text = result.format()
+        assert "exp" in text
+        assert "table body" in text
+        assert "note one" in text
+
+    def test_records_for_filters_by_solver(self):
+        records = (
+            RunRecord("e", "a", {}, None, 0.0),
+            RunRecord("e", "b", {}, None, 0.0),
+        )
+        result = ExperimentResult("e", "quick", records, ())
+        assert len(result.records_for("a")) == 1

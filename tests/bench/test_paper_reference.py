@@ -1,0 +1,74 @@
+"""Sanity tests over the transcribed paper numbers, and cross-checks that
+the paper's own claims are consistent with its tables (useful guards
+against transcription typos)."""
+
+import pytest
+
+from repro.bench.paper_reference import (
+    PAPER_FIGURE5_SPEEDUP_RANGE,
+    PAPER_TABLE2_GAIN,
+    PAPER_TABLE3_MS,
+    PAPER_TABLE3_SPEEDUP_RANGE,
+    table2_gain,
+    table3_speedups,
+)
+from repro.data.synthetic import PAPER_K_VALUES, PAPER_SIZES
+
+
+class TestTable2Transcription:
+    def test_full_grid_present(self):
+        assert set(PAPER_TABLE2_GAIN) == {
+            (n, k) for n in PAPER_SIZES for k in PAPER_K_VALUES
+        }
+
+    def test_gain_grows_with_n_at_every_k_above_1(self):
+        """The paper's headline trend (k=1 is noisy at n=4096)."""
+        for k in PAPER_K_VALUES:
+            if k == 1:
+                continue
+            gains = [table2_gain(n, k) for n in PAPER_SIZES]
+            assert gains == sorted(gains) or gains[-1] > gains[0] * 10
+
+    def test_k1_column_always_smallest_beyond_512(self):
+        for n in PAPER_SIZES[1:]:
+            others = min(table2_gain(n, k) for k in PAPER_K_VALUES if k != 1)
+            assert table2_gain(n, 1) < others
+
+    def test_largest_corner_is_thousands(self):
+        assert table2_gain(8192, 10000) > 3000
+
+
+class TestTable3Transcription:
+    def test_three_datasets(self):
+        assert set(PAPER_TABLE3_MS) == {"HighSchool", "Voles", "MultiMagna"}
+
+    def test_hunipu_wins_every_cell(self):
+        for cells in PAPER_TABLE3_MS.values():
+            for hunipu, fastha in cells.values():
+                assert hunipu < fastha
+
+    def test_speedups_match_the_claimed_band(self):
+        """§V-C claims 5x-32x; the cells must realize it (within rounding)."""
+        ratios = [
+            ratio
+            for cells in table3_speedups().values()
+            for ratio in cells.values()
+        ]
+        low, high = PAPER_TABLE3_SPEEDUP_RANGE
+        assert min(ratios) >= low
+        assert max(ratios) <= high + 1.0  # Voles 80% is 31.6x; 90% is 32.6x
+
+    def test_voles_is_fastha_worst_case(self):
+        voles = max(f for _, f in PAPER_TABLE3_MS["Voles"].values())
+        others = max(
+            f
+            for dataset in ("HighSchool", "MultiMagna")
+            for _, f in PAPER_TABLE3_MS[dataset].values()
+        )
+        assert voles > others
+
+
+class TestFigure5Claims:
+    def test_range_brackets_average(self):
+        low, high = PAPER_FIGURE5_SPEEDUP_RANGE
+        assert low < 6.0 < high

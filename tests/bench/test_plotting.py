@@ -1,0 +1,51 @@
+"""Tests for the terminal figure renderer."""
+
+import pytest
+
+from repro.bench.plotting import ascii_bars, ascii_panel
+
+
+class TestAsciiPanel:
+    def test_renders_all_series_markers(self):
+        chart = ascii_panel(
+            "t", ["a", "b"], {"one": [1.0, 2.0], "two": [3.0, 4.0]}
+        )
+        assert "o one" in chart
+        assert "x two" in chart
+        assert "t" == chart.splitlines()[0]
+
+    def test_max_value_on_top_row(self):
+        chart = ascii_panel("t", ["a"], {"s": [5.0]})
+        top_row = chart.splitlines()[1]
+        assert "5.0" in top_row
+        assert "o" in top_row
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError, match="one value per x label"):
+            ascii_panel("t", ["a", "b"], {"s": [1.0]})
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            ascii_panel("t", ["a"], {})
+
+    def test_x_labels_in_footer(self):
+        chart = ascii_panel("t", ["10n", "500n"], {"s": [1.0, 2.0]})
+        assert "10n" in chart
+        assert "500n" in chart
+
+
+class TestAsciiBars:
+    def test_longest_bar_is_max(self):
+        chart = ascii_bars("t", ["a", "b"], [1.0, 4.0])
+        lines = chart.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_values_annotated_with_unit(self):
+        chart = ascii_bars("t", ["a"], [2.5], unit="x")
+        assert "2.50x" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars("t", ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bars("t", [], [])

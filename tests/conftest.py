@@ -1,0 +1,26 @@
+"""Shared fixtures for the HunIPU reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ipu.spec import IPUSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test random generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def toy_spec() -> IPUSpec:
+    """A small IPU spec (4 tiles) for fast graph tests."""
+    return IPUSpec.toy(num_tiles=4)
+
+
+@pytest.fixture(scope="session")
+def mk2_spec() -> IPUSpec:
+    """The paper's Mk2 device."""
+    return IPUSpec.mk2()

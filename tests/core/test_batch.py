@@ -1,0 +1,36 @@
+"""Tests for the batch-solving API (repeated-alignment workloads, §I)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.solver import HunIPUSolver
+from repro.ipu.spec import IPUSpec
+from repro.lap.problem import LAPInstance
+
+
+class TestSolveMany:
+    def test_batch_matches_individual_solves(self, rng):
+        solver = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        instances = [LAPInstance(rng.uniform(0, 9, (10, 10))) for _ in range(4)]
+        results = solver.solve_many(instances)
+        assert len(results) == 4
+        for instance, result in zip(instances, results):
+            rows, cols = linear_sum_assignment(instance.costs)
+            assert result.total_cost == pytest.approx(
+                float(instance.costs[rows, cols].sum()), abs=1e-7
+            )
+
+    def test_mixed_sizes_compile_once_each(self, rng):
+        solver = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        sizes = [6, 9, 6, 9, 6]
+        instances = [LAPInstance(rng.uniform(0, 5, (n, n))) for n in sizes]
+        solver.solve_many(instances)
+        assert set(solver._compiled) == {6, 9}
+
+    def test_accepts_generators(self, rng):
+        solver = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        results = solver.solve_many(
+            LAPInstance(rng.uniform(0, 5, (7, 7))) for _ in range(2)
+        )
+        assert len(results) == 2

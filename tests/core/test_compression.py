@@ -1,0 +1,155 @@
+"""Property tests for the slack-matrix compression scheme (§IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import (
+    CompressRows,
+    RowZeroSum,
+    compress_rows_host,
+    segment_bounds,
+)
+from repro.ipu.codelets import CostContext
+
+COST = CostContext()
+
+
+class TestSegmentBounds:
+    def test_even_split(self):
+        assert segment_bounds(12, 6) == [
+            (0, 2), (2, 4), (4, 6), (6, 8), (8, 10), (10, 12)
+        ]
+
+    def test_uneven_split_front_loads(self):
+        bounds = segment_bounds(8, 6)
+        lengths = [stop - start for start, stop in bounds]
+        assert lengths == [2, 2, 1, 1, 1, 1]
+
+    def test_fewer_columns_than_threads(self):
+        bounds = segment_bounds(2, 6)
+        lengths = [stop - start for start, stop in bounds]
+        assert lengths == [1, 1, 0, 0, 0, 0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(cols=st.integers(1, 100), threads=st.integers(1, 8))
+    def test_bounds_partition_columns(self, cols, threads):
+        bounds = segment_bounds(cols, threads)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == cols
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+
+class TestHostCompression:
+    def test_figure1_example(self):
+        """The worked example of Fig. 1 (12-wide row, 6 threads)."""
+        row = np.array([[13, 0, 0, 0, 0, 1, 60, 7, 22, 8, 2, 0]], dtype=float)
+        compress, counts = compress_rows_host(row, 6, tol=0.0)
+        assert list(compress[0]) == [1, -1, 2, 3, 4, -1, -1, -1, -1, -1, 11, -1]
+        assert list(counts[0]) == [1, 2, 1, 0, 0, 1]
+
+    def test_no_zeros(self):
+        slack = np.ones((3, 6))
+        compress, counts = compress_rows_host(slack, 6, tol=1e-9)
+        assert np.all(compress == -1)
+        assert counts.sum() == 0
+
+    def test_all_zeros(self):
+        slack = np.zeros((2, 6))
+        compress, counts = compress_rows_host(slack, 6, tol=1e-9)
+        assert counts.sum() == 12
+        # Every position is recorded exactly once.
+        recorded = sorted(p for p in compress.reshape(-1) if p >= 0)
+        assert recorded == sorted(list(range(6)) * 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 40),
+        threads=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_roundtrip_recovers_zero_set(self, rows, cols, threads, seed):
+        gen = np.random.default_rng(seed)
+        slack = gen.choice([0.0, 1.0, 2.0], size=(rows, cols), p=[0.3, 0.4, 0.3])
+        compress, counts = compress_rows_host(slack, threads, tol=1e-12)
+        for row in range(rows):
+            recorded = {int(p) for p in compress[row] if p >= 0}
+            actual = set(np.flatnonzero(slack[row] == 0.0).tolist())
+            assert recorded == actual
+            assert counts[row].sum() == len(actual)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 30),
+        seed=st.integers(0, 1000),
+    )
+    def test_counts_match_segment_ground_truth(self, rows, cols, seed):
+        gen = np.random.default_rng(seed)
+        slack = gen.choice([0.0, 5.0], size=(rows, cols))
+        compress, counts = compress_rows_host(slack, 6, tol=0.0)
+        for thread, (start, stop) in enumerate(segment_bounds(cols, 6)):
+            expected = (slack[:, start:stop] == 0.0).sum(axis=1)
+            assert np.array_equal(counts[:, thread], expected)
+
+
+class TestDeviceCodelet:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 25),
+        seed=st.integers(0, 1000),
+    )
+    def test_codelet_matches_host_reference(self, rows, cols, seed):
+        gen = np.random.default_rng(seed)
+        slack = gen.choice([0.0, 1.0], size=(rows, cols))
+        expected_compress, expected_counts = compress_rows_host(slack, 6, tol=1e-9)
+        compress = np.zeros((1, rows * cols), dtype=np.int32)
+        counts = np.zeros((1, rows * 6), dtype=np.int32)
+        CompressRows().compute_all(
+            {
+                "block": slack.reshape(1, -1),
+                "compress": compress,
+                "zero_count": counts,
+            },
+            {
+                "cols": np.array([float(cols)]),
+                "threads": np.array([6.0]),
+                "tol": np.array([1e-9]),
+            },
+            COST,
+        )
+        assert np.array_equal(compress.reshape(rows, cols), expected_compress)
+        assert np.array_equal(counts.reshape(rows, 6), expected_counts)
+
+    def test_batched_compression_independent_rows(self):
+        """Two vertices' blocks must not interfere."""
+        block = np.array(
+            [[0.0, 1.0, 0.0, 1.0], [1.0, 0.0, 1.0, 0.0]]
+        )  # two vertices, 1x4 rows
+        compress = np.zeros((2, 4), dtype=np.int32)
+        counts = np.zeros((2, 6), dtype=np.int32)
+        CompressRows().compute_all(
+            {"block": block, "compress": compress, "zero_count": counts},
+            {
+                "cols": np.array([4.0, 4.0]),
+                "threads": np.array([6.0, 6.0]),
+                "tol": np.array([0.0, 0.0]),
+            },
+            COST,
+        )
+        assert {int(p) for p in compress[0] if p >= 0} == {0, 2}
+        assert {int(p) for p in compress[1] if p >= 0} == {1, 3}
+
+    def test_row_zero_sum(self):
+        counts = np.array([[1, 2, 0, 0, 1, 0, 3, 0, 0, 0, 0, 1]], dtype=np.int32)
+        row_zeros = np.zeros((1, 2), dtype=np.int32)
+        RowZeroSum().compute_all(
+            {"zero_count": counts, "row_zeros": row_zeros},
+            {"threads": np.array([6.0])},
+            COST,
+        )
+        assert list(row_zeros[0]) == [4, 4]

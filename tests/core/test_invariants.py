@@ -1,0 +1,95 @@
+"""Algorithm-level invariants (DESIGN.md §6), property-tested.
+
+These check the *mathematics* of the Hungarian steps rather than any one
+implementation: the Step-6 update rule preserves optimality and creates
+progress, and HunIPU's whole run maintains the slack-as-reduced-cost
+invariant that makes its terminal state a dual certificate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.solver import HunIPUSolver
+from repro.ipu.spec import IPUSpec
+from repro.lap.problem import LAPInstance
+
+
+def _random_cover_state(n, gen):
+    """A plausible mid-run cover state: some rows covered, columns covered
+    such that at least one uncovered cell exists."""
+    row_cover = gen.random(n) < 0.4
+    col_cover = gen.random(n) < 0.4
+    if row_cover.all():
+        row_cover[int(gen.integers(0, n))] = False
+    if col_cover.all():
+        col_cover[int(gen.integers(0, n))] = False
+    return row_cover, col_cover
+
+
+class TestStep6UpdateRule:
+    """Properties of S' = S + delta * (row_cover + col_cover - 1)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10_000))
+    def test_preserves_optimal_assignment_set(self, n, seed):
+        """The update shifts every assignment's total by the same amount
+        (delta * (#covered rows + #covered cols - n)), so the argmin set
+        is untouched — the core reason Step 6 is sound."""
+        gen = np.random.default_rng(seed)
+        slack = gen.uniform(0, 10, (n, n))
+        row_cover, col_cover = _random_cover_state(n, gen)
+        uncovered = slack[~row_cover][:, ~col_cover]
+        delta = float(uncovered.min()) + 0.5
+        updated = slack + delta * (
+            row_cover.astype(float)[:, None] + col_cover.astype(float)[None, :] - 1.0
+        )
+        shift = delta * (row_cover.sum() + col_cover.sum() - n)
+        rows, cols = linear_sum_assignment(slack)
+        base_before = slack[rows, cols].sum()
+        base_after = updated[rows, cols].sum()
+        assert base_after == pytest.approx(base_before + shift)
+        rows2, cols2 = linear_sum_assignment(updated)
+        assert updated[rows2, cols2].sum() == pytest.approx(base_before + shift)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10_000))
+    def test_creates_uncovered_zero_and_keeps_nonnegativity(self, n, seed):
+        gen = np.random.default_rng(seed)
+        # Start from a valid slack: nonnegative with zeros possible.
+        slack = gen.uniform(0, 10, (n, n))
+        row_cover, col_cover = _random_cover_state(n, gen)
+        uncovered_mask = ~row_cover[:, None] & ~col_cover[None, :]
+        # Make covered zeros legal but uncovered strictly positive (the
+        # precondition for Step 6: no uncovered zero).
+        slack[uncovered_mask] += 0.1
+        delta = float(slack[uncovered_mask].min())
+        updated = slack + delta * (
+            row_cover.astype(float)[:, None] + col_cover.astype(float)[None, :] - 1.0
+        )
+        assert updated[uncovered_mask].min() == pytest.approx(0.0, abs=1e-12)
+        # No uncovered entry went negative.
+        assert updated[uncovered_mask].min() >= -1e-12
+
+
+class TestSlackReductionInvariant:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(2, 10), seed=st.integers(0, 5_000))
+    def test_terminal_slack_is_a_reduction_of_the_costs(self, n, seed):
+        """C - S stays rank-one (u_i + v_j) through the whole run."""
+        costs = np.random.default_rng(seed).uniform(1, 50, (n, n))
+        solver = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        result = solver.solve(LAPInstance(costs), return_slack=True)
+        slack = result.stats["final_slack"]
+        reduction = costs - slack
+        # Rank-one additive: r[i,j] - r[i,0] - r[0,j] + r[0,0] == 0.
+        residual = (
+            reduction
+            - reduction[:, :1]
+            - reduction[:1, :]
+            + reduction[0, 0]
+        )
+        assert np.abs(residual).max() < 1e-7
+        assert slack.min() > -1e-7  # dual feasibility

@@ -1,0 +1,119 @@
+"""Focused tests for Step 5 (path augmentation) driven in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping_plan import MappingPlan
+from repro.core.state import SolverState
+from repro.core.steps import build_step5
+from repro.ipu.engine import Engine
+from repro.ipu.graph import ComputeGraph
+from repro.ipu.spec import IPUSpec
+
+
+def _fresh(n, num_tiles=4):
+    spec = IPUSpec.toy(num_tiles=num_tiles)
+    plan = MappingPlan.for_size(n, spec)
+    graph = ComputeGraph(spec)
+    state = SolverState.build(graph, plan, np.dtype(np.float64), 1e-11)
+    program = build_step5(graph, state, plan)
+    engine = Engine(graph, program)
+    return state, engine
+
+
+def _write_col_star(state, pairs, n):
+    stars = np.full(state.col_star.size, -1, dtype=np.int32)
+    for col, row in pairs.items():
+        stars[col] = row
+    state.col_star.write_host(stars)
+
+
+class TestSingleHopPath:
+    def test_star_free_column_stars_the_prime(self):
+        """Path of length 1: the prime's column has no star."""
+        n = 4
+        state, engine = _fresh(n)
+        state.initialize_host(np.ones((n, n)))
+        # Step 4 selected row 3 with uncovered zero at column 2, no star.
+        state.sel.write_host(np.array([1, 3, 2, -1], dtype=np.int32))
+        state.inner_cond.write_host(1)
+        engine.run()
+        assert state.row_star.read_host()[3] == 2
+        assert state.col_star.read_host()[2] == 3
+        assert state.aug_count.read_host()[0] == 1
+        assert state.inner_cond.read_host()[0] == 0  # back to Step 3
+
+
+class TestAlternatingPath:
+    def test_two_hop_path_flips_the_star(self):
+        """Prime (3,2) displaces star (1,2); star (1,0) replaces it."""
+        n = 4
+        state, engine = _fresh(n)
+        state.initialize_host(np.ones((n, n)))
+        row_star = np.full(n, -1, dtype=np.int32)
+        row_star[1] = 2
+        state.row_star.write_host(row_star)
+        _write_col_star(state, {2: 1}, n)
+        primes = np.full(n, -1, dtype=np.int32)
+        primes[1] = 0  # the prime Step 4 left in the starred row
+        state.row_prime.write_host(primes)
+        state.sel.write_host(np.array([1, 3, 2, -1], dtype=np.int32))
+        state.inner_cond.write_host(1)
+        engine.run()
+        row_star = state.row_star.read_host()
+        col_star = state.col_star.read_host()
+        assert row_star[3] == 2 and col_star[2] == 3  # new star
+        assert row_star[1] == 0 and col_star[0] == 1  # flipped star
+        # Path length 2 recorded.
+        assert state.path_state.read_host()[3] == 2
+
+    def test_three_hop_path(self):
+        """(3,2) -> star(1,2)/prime(1,0) -> star(0,0)/prime(0,3) -> free."""
+        n = 4
+        state, engine = _fresh(n)
+        state.initialize_host(np.ones((n, n)))
+        row_star = np.full(n, -1, dtype=np.int32)
+        row_star[1] = 2
+        row_star[0] = 0
+        state.row_star.write_host(row_star)
+        _write_col_star(state, {2: 1, 0: 0}, n)
+        primes = np.full(n, -1, dtype=np.int32)
+        primes[1] = 0
+        primes[0] = 3
+        state.row_prime.write_host(primes)
+        state.sel.write_host(np.array([1, 3, 2, -1], dtype=np.int32))
+        state.inner_cond.write_host(1)
+        engine.run()
+        row_star = state.row_star.read_host()
+        col_star = state.col_star.read_host()
+        assert row_star[3] == 2 and col_star[2] == 3
+        assert row_star[1] == 0 and col_star[0] == 1
+        assert row_star[0] == 3 and col_star[3] == 0
+        assert state.path_state.read_host()[3] == 3
+        # Star count increased by exactly one (2 -> 3).
+        assert (row_star >= 0).sum() == 3
+
+    def test_matching_grows_by_exactly_one(self):
+        """Whatever the path, augmentation adds one matched pair."""
+        n = 6
+        state, engine = _fresh(n, num_tiles=3)
+        state.initialize_host(np.ones((n, n)))
+        row_star = np.full(n, -1, dtype=np.int32)
+        row_star[2] = 4
+        state.row_star.write_host(row_star)
+        _write_col_star(state, {4: 2}, n)
+        primes = np.full(n, -1, dtype=np.int32)
+        primes[2] = 1
+        state.row_prime.write_host(primes)
+        state.sel.write_host(np.array([1, 5, 4, -1], dtype=np.int32))
+        state.inner_cond.write_host(1)
+        before = 1
+        engine.run()
+        after = int((state.row_star.read_host() >= 0).sum())
+        assert after == before + 1
+        # Consistency: col_star inverts row_star.
+        row_star = state.row_star.read_host()
+        col_star = state.col_star.read_host()
+        for row, col in enumerate(row_star):
+            if col >= 0:
+                assert col_star[col] == row

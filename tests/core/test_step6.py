@@ -1,0 +1,125 @@
+"""Focused tests for Step 6 (slack update) driven in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import build_compress, compress_rows_host
+from repro.core.mapping_plan import MappingPlan
+from repro.core.state import SolverState
+from repro.core.steps.step6_slack_update import build_step6
+from repro.ipu.engine import Engine
+from repro.ipu.graph import ComputeGraph
+from repro.ipu.spec import IPUSpec
+
+
+def _fresh(n, num_tiles=4):
+    spec = IPUSpec.toy(num_tiles=num_tiles)
+    plan = MappingPlan.for_size(n, spec)
+    graph = ComputeGraph(spec)
+    state = SolverState.build(graph, plan, np.dtype(np.float64), 1e-11)
+    recompress = build_compress(graph, state, plan)
+    program = build_step6(graph, state, plan, recompress)
+    engine = Engine(graph, program)
+    return spec, state, engine
+
+
+def _set_covers(state, n, row_cover, col_cover):
+    state.row_cover.write_host(np.asarray(row_cover, dtype=np.int32))
+    padded = np.zeros(state.col_cover.size, dtype=np.int32)
+    padded[:n] = col_cover
+    state.col_cover.write_host(padded)
+
+
+class TestDeltaSelection:
+    def test_delta_is_min_uncovered(self, rng):
+        n = 8
+        spec, state, engine = _fresh(n)
+        slack = rng.uniform(1, 10, (n, n))
+        state.initialize_host(slack)
+        row_cover = (rng.random(n) < 0.3).astype(int)
+        col_cover = (rng.random(n) < 0.3).astype(int)
+        row_cover[0] = col_cover[0] = 0  # keep at least one uncovered cell
+        _set_covers(state, n, row_cover, col_cover)
+        engine.run()
+        expected = slack[row_cover == 0][:, col_cover == 0].min()
+        assert state.delta.read_host()[0] == pytest.approx(expected)
+
+    def test_covered_rows_excluded_from_delta(self):
+        n = 4
+        spec, state, engine = _fresh(n)
+        slack = np.full((n, n), 5.0)
+        slack[0, 0] = 0.001  # tiny value, but its row is covered
+        slack[2, 2] = 2.0
+        state.initialize_host(slack)
+        _set_covers(state, n, [1, 0, 0, 0], [0, 0, 0, 0])
+        engine.run()
+        assert state.delta.read_host()[0] == pytest.approx(2.0)
+
+
+class TestUpdateRule:
+    def test_paper_rule_applied(self):
+        """+delta doubly covered, -delta doubly uncovered, else unchanged."""
+        n = 4
+        spec, state, engine = _fresh(n)
+        slack = np.full((n, n), 4.0)
+        state.initialize_host(slack)
+        _set_covers(state, n, [1, 0, 0, 0], [1, 0, 0, 0])
+        engine.run()
+        updated = state.slack.read_host()
+        assert updated[0, 0] == pytest.approx(8.0)  # both covered
+        assert updated[0, 1] == pytest.approx(4.0)  # row covered only
+        assert updated[1, 0] == pytest.approx(4.0)  # col covered only
+        assert updated[1, 1] == pytest.approx(0.0)  # both uncovered
+
+    def test_new_zero_appears_uncovered(self, rng):
+        n = 6
+        spec, state, engine = _fresh(n)
+        slack = rng.uniform(1, 9, (n, n))
+        state.initialize_host(slack)
+        _set_covers(state, n, [0] * n, [1, 0, 0, 0, 0, 0])
+        engine.run()
+        updated = state.slack.read_host()
+        uncovered = updated[:, 1:]
+        assert uncovered.min() == pytest.approx(0.0, abs=1e-12)
+
+    def test_recompression_reflects_new_zeros(self, rng):
+        n = 6
+        spec, state, engine = _fresh(n)
+        slack = rng.uniform(1, 9, (n, n))
+        state.initialize_host(slack)
+        _set_covers(state, n, [0] * n, [0] * n)
+        engine.run()
+        updated = state.slack.read_host()
+        expected_compress, expected_counts = compress_rows_host(
+            updated, spec.threads_per_tile, tol=1e-11
+        )
+        assert np.array_equal(state.compress.read_host(), expected_compress)
+        assert np.array_equal(state.zero_count.read_host(), expected_counts)
+
+    def test_update_counter_incremented(self, rng):
+        n = 4
+        spec, state, engine = _fresh(n)
+        state.initialize_host(rng.uniform(1, 5, (n, n)))
+        _set_covers(state, n, [0] * n, [0] * n)
+        engine.run()
+        engine.run()
+        assert state.update_count.read_host()[0] == 2
+
+
+class TestMemoryReport:
+    def test_solver_memory_report(self):
+        from repro.core.solver import HunIPUSolver
+
+        solver = HunIPUSolver()
+        compiled = solver.compiled_for(128)
+        report = compiled.memory_report()
+        assert report["tiles_used"] >= 128
+        assert 0 < report["utilization"] < 1
+        assert report["busiest_tile_bytes"] <= report["tile_budget_bytes"]
+
+    def test_float32_halves_the_slack_footprint(self):
+        from repro.core.solver import HunIPUSolver
+
+        wide = HunIPUSolver(dtype=np.float64).compiled_for(64).memory_report()
+        narrow = HunIPUSolver(dtype=np.float32).compiled_for(64).memory_report()
+        assert narrow["busiest_tile_bytes"] < wide["busiest_tile_bytes"]

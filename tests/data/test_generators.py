@@ -1,0 +1,118 @@
+"""Tests for the synthetic and real-dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.real import TABLE1_DATASETS, load_dataset, table1_rows
+from repro.data.synthetic import (
+    FIGURE5_K_VALUES,
+    PAPER_K_VALUES,
+    PAPER_SIZES,
+    gaussian_cost_matrix,
+    gaussian_instance,
+    uniform_cost_matrix,
+    uniform_instance,
+)
+from repro.errors import InvalidProblemError
+
+
+class TestPaperGrids:
+    def test_sizes(self):
+        assert PAPER_SIZES == (512, 1024, 2048, 4096, 8192)
+
+    def test_k_values(self):
+        assert PAPER_K_VALUES == (1, 10, 100, 500, 1000, 5000, 10000)
+        assert set(FIGURE5_K_VALUES) <= set(PAPER_K_VALUES)
+
+
+class TestGaussian:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        size=st.integers(4, 64),
+        k=st.sampled_from([1, 10, 100]),
+        seed=st.integers(0, 1000),
+    )
+    def test_values_in_paper_range(self, size, k, seed):
+        matrix = gaussian_cost_matrix(size, k, np.random.default_rng(seed))
+        assert matrix.shape == (size, size)
+        assert matrix.min() >= 1.0
+        assert matrix.max() <= k * size
+
+    def test_moments_match_recipe(self):
+        size, k = 256, 100
+        matrix = gaussian_cost_matrix(size, k, np.random.default_rng(0))
+        top = k * size
+        assert matrix.mean() == pytest.approx(top / 2, rel=0.02)
+        assert matrix.std() == pytest.approx(top / 6, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(InvalidProblemError):
+            gaussian_cost_matrix(0, 1, gen)
+        with pytest.raises(InvalidProblemError):
+            gaussian_cost_matrix(4, 0, gen)
+
+    def test_instance_deterministic_by_seed(self):
+        a = gaussian_instance(16, 10, seed=5)
+        b = gaussian_instance(16, 10, seed=5)
+        c = gaussian_instance(16, 10, seed=6)
+        assert np.array_equal(a.costs, b.costs)
+        assert not np.array_equal(a.costs, c.costs)
+        assert "n16" in a.name
+
+
+class TestUniform:
+    def test_range(self):
+        matrix = uniform_cost_matrix(32, 10, np.random.default_rng(0))
+        assert matrix.min() >= 1.0
+        assert matrix.max() <= 320.0
+
+    def test_instance_named(self):
+        assert uniform_instance(8, 1).name.startswith("unif-")
+
+
+class TestRealStandIns:
+    def test_table1_counts_exact(self):
+        for row in table1_rows():
+            assert row["n"] == row["paper_n"]
+            assert row["m"] == row["paper_m"]
+
+    @pytest.mark.parametrize("spec", TABLE1_DATASETS, ids=lambda s: s.name)
+    def test_each_dataset_loads_with_exact_counts(self, spec):
+        graph = load_dataset(spec.name)
+        assert graph.number_of_nodes() == spec.nodes
+        assert graph.number_of_edges() == spec.edges
+        assert graph.graph["network_type"] == spec.network_type
+
+    def test_generation_deterministic(self):
+        a = load_dataset("Voles")
+        b = load_dataset("Voles")
+        assert set(a.edges) == set(b.edges)
+
+    def test_nodes_are_contiguous_integers(self):
+        graph = load_dataset("HighSchool")
+        assert sorted(graph.nodes) == list(range(graph.number_of_nodes()))
+
+    def test_scaling_shrinks_proportionally(self):
+        graph = load_dataset("MultiMagna", scale=0.5)
+        assert graph.number_of_nodes() == 502
+        assert graph.number_of_edges() == round(8323 * 0.5)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(InvalidProblemError, match="unknown dataset"):
+            load_dataset("Facebook")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            load_dataset("Voles", scale=0.0)
+
+    def test_case_insensitive_lookup(self):
+        assert load_dataset("voles").graph["name"] == "Voles"
+
+    def test_biological_graph_degree_heterogeneous(self):
+        """MultiMagna's PPI-like surrogate should have hub nodes."""
+        graph = load_dataset("MultiMagna")
+        degrees = np.array([d for _, d in graph.degree()])
+        assert degrees.max() > 4 * degrees.mean()

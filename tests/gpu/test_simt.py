@@ -1,0 +1,124 @@
+"""Tests for the SIMT kernel-execution model."""
+
+import pytest
+
+from repro.errors import GPUSimulationError
+from repro.gpu.simt import GPUDevice
+from repro.gpu.spec import GPUSpec
+
+
+class TestSpec:
+    def test_a100_constants(self):
+        spec = GPUSpec.a100()
+        assert spec.sm_count == 108
+        assert spec.warp_size == 32
+        assert spec.vram_bytes == 40 * 1024**3
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            GPUSpec(sm_count=0)
+        with pytest.raises(ValueError):
+            GPUSpec(clock_hz=0)
+
+    def test_compute_seconds_scale_with_divergence(self):
+        spec = GPUSpec.a100()
+        base = spec.compute_seconds(1e6)
+        divergent = spec.compute_seconds(1e6, divergence=2.0)
+        assert divergent == pytest.approx(2 * base)
+
+    def test_memory_seconds_bandwidth(self):
+        spec = GPUSpec(global_bandwidth_bytes_per_s=1e12)
+        assert spec.memory_seconds(1e12) == pytest.approx(1.0)
+
+    def test_uncoalesced_penalty(self):
+        spec = GPUSpec.a100()
+        assert spec.memory_seconds(1e6, coalesced=False) > spec.memory_seconds(1e6)
+
+    def test_zero_work_is_free(self):
+        spec = GPUSpec.a100()
+        assert spec.compute_seconds(0) == 0.0
+        assert spec.memory_seconds(0) == 0.0
+
+
+class TestMemoryManagement:
+    def test_malloc_free_cycle(self):
+        device = GPUDevice()
+        device.malloc("buf", 1024)
+        assert device.allocated_bytes == 1024
+        device.free("buf")
+        assert device.allocated_bytes == 0
+
+    def test_out_of_memory(self):
+        device = GPUDevice(GPUSpec(vram_bytes=100))
+        with pytest.raises(GPUSimulationError, match="out of device memory"):
+            device.malloc("huge", 200)
+
+    def test_double_alloc_rejected(self):
+        device = GPUDevice()
+        device.malloc("buf", 10)
+        with pytest.raises(GPUSimulationError, match="already allocated"):
+            device.malloc("buf", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(GPUSimulationError, match="not allocated"):
+            GPUDevice().free("ghost")
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(GPUSimulationError):
+            GPUDevice().malloc("neg", -1)
+
+
+class TestLaunchAccounting:
+    def test_launch_overhead_always_charged(self):
+        device = GPUDevice()
+        device.launch("noop")
+        profile = device.profile()
+        assert profile.device_seconds >= device.spec.kernel_launch_s
+
+    def test_roofline_takes_max_of_compute_and_memory(self):
+        spec = GPUSpec.a100()
+        device = GPUDevice(spec)
+        device.launch("memory_bound", elements=1, bytes_read=1e9)
+        record = device.profile().record_named("memory_bound")
+        assert record.total_seconds == pytest.approx(
+            spec.kernel_launch_s + spec.memory_seconds(1e9)
+        )
+
+    def test_launches_aggregate_per_kernel(self):
+        device = GPUDevice()
+        device.launch("k", elements=10)
+        device.launch("k", elements=10)
+        profile = device.profile()
+        assert profile.record_named("k").launches == 2
+        assert profile.kernel_launches == 2
+
+    def test_host_sync_charged(self):
+        device = GPUDevice()
+        device.host_sync()
+        device.host_sync()
+        profile = device.profile()
+        assert profile.host_syncs == 2
+        assert profile.sync_seconds == pytest.approx(2 * device.spec.host_sync_s)
+
+    def test_divergence_below_one_rejected(self):
+        with pytest.raises(GPUSimulationError):
+            GPUDevice().launch("bad", elements=1, divergence=0.5)
+
+    def test_profile_is_snapshot(self):
+        device = GPUDevice()
+        device.launch("k", elements=1)
+        snapshot = device.profile()
+        device.launch("k", elements=1)
+        assert snapshot.record_named("k").launches == 1
+
+    def test_format_table_contains_kernels(self):
+        device = GPUDevice()
+        device.launch("alpha", elements=5)
+        device.host_sync()
+        table = device.profile().format_table()
+        assert "alpha" in table
+        assert "host syncs" in table
+
+    def test_record_named_missing(self):
+        with pytest.raises(KeyError):
+            GPUDevice().profile().record_named("nope")

@@ -1,0 +1,69 @@
+"""Failure-injection tests: the engine must fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ipu.codelets import Codelet
+from repro.ipu.engine import Engine
+from repro.ipu.graph import ComputeGraph
+from repro.ipu.mapping import TileMapping
+from repro.ipu.programs import Execute
+
+
+class _BadCycleShape(Codelet):
+    """Returns a malformed cycle array (one entry too many)."""
+
+    fields = {"data": "inout"}
+
+    def compute_all(self, views, params, cost):
+        views["data"][...] = 0
+        return np.zeros(views["data"].shape[0] + 1)
+
+
+class _NonNumericCycles(Codelet):
+    fields = {"data": "inout"}
+
+    def compute_all(self, views, params, cost):
+        return np.array(["not", "cycles"])
+
+
+def _one_vertex_graph(toy_spec, codelet):
+    graph = ComputeGraph(toy_spec)
+    tensor = graph.add_tensor(
+        "x", (4,), np.int32, mapping=TileMapping.single_tile(4)
+    )
+    compute_set = graph.add_compute_set("cs")
+    compute_set.add_vertex(codelet, 0, {"data": ComputeGraph.full(tensor)})
+    return graph, Execute(compute_set)
+
+
+class TestCodeletContractEnforcement:
+    def test_wrong_cycle_shape_batched(self, toy_spec):
+        graph, program = _one_vertex_graph(toy_spec, _BadCycleShape())
+        engine = Engine(graph, program)
+        with pytest.raises(ExecutionError, match="cycle array"):
+            engine.run()
+
+    def test_wrong_cycle_shape_per_tile(self, toy_spec):
+        graph, program = _one_vertex_graph(toy_spec, _BadCycleShape())
+        engine = Engine(graph, program, mode="per_tile")
+        with pytest.raises(ExecutionError, match="cycle array"):
+            engine.run()
+
+    def test_non_numeric_cycles_rejected(self, toy_spec):
+        graph, program = _one_vertex_graph(toy_spec, _NonNumericCycles())
+        engine = Engine(graph, program)
+        with pytest.raises((ExecutionError, ValueError)):
+            engine.run()
+
+
+class TestStatePollution:
+    def test_failed_run_does_not_wedge_the_engine(self, toy_spec):
+        """After a fault, the engine can run a fresh program cleanly."""
+        graph, program = _one_vertex_graph(toy_spec, _BadCycleShape())
+        engine = Engine(graph, program)
+        with pytest.raises(ExecutionError):
+            engine.run()
+        # The profiler must not leak across runs.
+        assert engine._profiler is None

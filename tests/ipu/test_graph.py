@@ -1,0 +1,159 @@
+"""Tests for computation-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.ipu.codelets import Codelet
+from repro.ipu.graph import ComputeGraph, Connection
+from repro.ipu.mapping import TileMapping
+from repro.ipu.oplib import Fill
+
+
+class TestTensors:
+    def test_duplicate_names_rejected(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        graph.add_tensor("x", (2,), np.int32)
+        with pytest.raises(GraphConstructionError, match="duplicate"):
+            graph.add_tensor("x", (3,), np.int32)
+
+    def test_lookup(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (2,), np.int32)
+        assert graph.tensor("x") is tensor
+
+    def test_lookup_missing(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        with pytest.raises(GraphConstructionError, match="no tensor"):
+            graph.tensor("nope")
+
+    def test_add_scalar_maps_to_tile(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        scalar = graph.add_scalar("flag", tile=2)
+        assert scalar.size == 1
+        assert scalar.mapping.tile_of(0) == 2
+
+    def test_graph_id_stamped(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (2,), np.int32)
+        assert tensor.graph_id == graph.graph_id
+
+
+class TestConnections:
+    def test_full_and_span(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (4,), np.int32)
+        assert ComputeGraph.full(tensor).length == 4
+        assert ComputeGraph.span(tensor, 1, 3).length == 2
+
+    def test_rows_helper(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        matrix = graph.add_tensor("m", (4, 3), np.float32)
+        connection = ComputeGraph.rows(matrix, 1, 3)
+        assert (connection.start, connection.stop) == (3, 9)
+
+    def test_rows_rejects_vector(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        vector = graph.add_tensor("v", (4,), np.float32)
+        with pytest.raises(GraphConstructionError, match="2-D"):
+            ComputeGraph.rows(vector, 0, 1)
+
+    def test_connection_bounds(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (4,), np.int32)
+        with pytest.raises(GraphConstructionError):
+            Connection(tensor, 2, 6)
+
+
+class TestVertices:
+    def test_field_signature_enforced(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "x", (4,), np.int32, mapping=TileMapping.single_tile(4)
+        )
+        compute_set = graph.add_compute_set("cs")
+        with pytest.raises(GraphConstructionError, match="connects fields"):
+            compute_set.add_vertex(
+                Fill(), 0, {"wrong_name": ComputeGraph.full(tensor)}
+            )
+
+    def test_negative_tile_rejected(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "x", (4,), np.int32, mapping=TileMapping.single_tile(4)
+        )
+        compute_set = graph.add_compute_set("cs")
+        with pytest.raises(GraphConstructionError, match="negative tile"):
+            compute_set.add_vertex(Fill(), -1, {"data": ComputeGraph.full(tensor)})
+
+    def test_codelet_names_deduplicated(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "x", (4,), np.int32, mapping=TileMapping.single_tile(4)
+        )
+        compute_set = graph.add_compute_set("cs")
+        fill = Fill()
+        compute_set.add_vertex(fill, 0, {"data": ComputeGraph.span(tensor, 0, 2)})
+        compute_set.add_vertex(fill, 1, {"data": ComputeGraph.span(tensor, 2, 4)})
+        assert compute_set.codelets == ("Fill",)
+
+
+class TestExchangeAccounting:
+    def test_local_connection_free(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "x", (4,), np.int32, mapping=TileMapping.single_tile(4, tile=1)
+        )
+        compute_set = graph.add_compute_set("cs")
+        vertex = compute_set.add_vertex(
+            Fill(), 1, {"data": ComputeGraph.full(tensor)}
+        )
+        assert vertex.exchange_bytes() == 0
+
+    def test_remote_connection_counted(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "x", (4,), np.int32, mapping=TileMapping.single_tile(4, tile=1)
+        )
+        compute_set = graph.add_compute_set("cs")
+        vertex = compute_set.add_vertex(
+            Fill(), 0, {"data": ComputeGraph.full(tensor)}
+        )
+        assert vertex.exchange_bytes() == 16
+
+    def test_partial_overlap_counted(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "x",
+            (4,),
+            np.int32,
+            mapping=TileMapping.linear_segments(4, 2, [0, 1]),
+        )
+        compute_set = graph.add_compute_set("cs")
+        vertex = compute_set.add_vertex(
+            Fill(), 0, {"data": ComputeGraph.full(tensor)}
+        )
+        # Elements 2..3 live on tile 1: 2 * 4 bytes cross the fabric.
+        assert vertex.exchange_bytes() == 8
+
+
+class TestCodeletValidation:
+    def test_codelet_without_fields_rejected(self):
+        class Empty(Codelet):
+            fields = {}
+
+            def compute_all(self, views, params, cost):  # pragma: no cover
+                return None
+
+        with pytest.raises(GraphConstructionError, match="no fields"):
+            Empty()
+
+    def test_codelet_with_bad_direction_rejected(self):
+        class Bad(Codelet):
+            fields = {"x": "sideways"}
+
+            def compute_all(self, views, params, cost):  # pragma: no cover
+                return None
+
+        with pytest.raises(GraphConstructionError, match="invalid direction"):
+            Bad()

@@ -1,0 +1,193 @@
+"""Tests for the generic codelet library (against plain numpy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphConstructionError
+from repro.ipu.codelets import CostContext
+from repro.ipu.engine import Engine
+from repro.ipu.graph import ComputeGraph
+from repro.ipu.mapping import TileMapping
+from repro.ipu.oplib import (
+    AddToScalar,
+    ColPartialMin,
+    Fill,
+    GatherColumn,
+    RowMin,
+    ScalarBinaryCompare,
+    ScalarCompare,
+    SortRowsDescending,
+    SubtractColMin,
+    SubtractRowMin,
+    VecReduce,
+    WriteScalar,
+    build_reduce,
+)
+from repro.ipu.programs import Execute, Sequence
+from repro.ipu.spec import IPUSpec
+
+COST = CostContext()
+
+
+def _views(**arrays):
+    return {name: np.atleast_2d(array) for name, array in arrays.items()}
+
+
+class TestElementwiseCodelets:
+    def test_fill(self):
+        data = np.zeros((2, 3))
+        Fill().compute_all(
+            {"data": data}, {"value": np.array([5.0, 7.0])}, COST
+        )
+        assert np.all(data[0] == 5.0)
+        assert np.all(data[1] == 7.0)
+
+    def test_vec_reduce_ops(self):
+        data = np.array([[3.0, 1.0, 2.0]])
+        for op, expected in [("min", 1.0), ("max", 3.0), ("sum", 6.0)]:
+            out = np.zeros((1, 1))
+            VecReduce(op).compute_all({"data": data, "out": out}, {}, COST)
+            assert out[0, 0] == expected
+
+    def test_vec_reduce_rejects_unknown_op(self):
+        with pytest.raises(GraphConstructionError):
+            VecReduce("median")
+
+    def test_vec_reduce_name_includes_op(self):
+        assert VecReduce("min").name == "VecReduce[min]"
+
+    def test_row_min_and_subtract(self):
+        block = np.array([[4.0, 2.0, 9.0, 1.0]])  # 2x2 block flattened
+        mins = np.zeros((1, 2))
+        RowMin().compute_all(
+            {"block": block, "mins": mins}, {"cols": np.array([2.0])}, COST
+        )
+        assert list(mins[0]) == [2.0, 1.0]
+        SubtractRowMin().compute_all(
+            {"block": block, "mins": mins}, {"cols": np.array([2.0])}, COST
+        )
+        assert list(block[0]) == [2.0, 0.0, 8.0, 0.0]
+
+    def test_col_partial_min(self):
+        block = np.array([[4.0, 2.0, 1.0, 9.0]])  # 2x2
+        partial = np.zeros((1, 2))
+        ColPartialMin().compute_all(
+            {"block": block, "partial": partial}, {"cols": np.array([2.0])}, COST
+        )
+        assert list(partial[0]) == [1.0, 2.0]
+
+    def test_subtract_col_min(self):
+        block = np.array([[4.0, 2.0, 1.0, 9.0]])
+        colmin = np.array([[1.0, 2.0]])
+        SubtractColMin().compute_all(
+            {"block": block, "colmin": colmin}, {"cols": np.array([2.0])}, COST
+        )
+        assert list(block[0]) == [3.0, 0.0, 0.0, 7.0]
+
+    def test_sort_rows_descending(self):
+        block = np.array([[3, -1, 7, 0, 5, 2]], dtype=np.int32)
+        SortRowsDescending().compute_all(
+            {"block": block}, {"cols": np.array([3.0])}, COST
+        )
+        assert list(block[0]) == [7, 3, -1, 5, 2, 0]
+
+    def test_gather_column(self):
+        block = np.arange(6.0).reshape(1, 6)  # 2x3
+        index = np.array([[2]])
+        out = np.zeros((1, 2))
+        GatherColumn().compute_all(
+            {"block": block, "index": index, "out": out},
+            {"cols": np.array([3.0])},
+            COST,
+        )
+        assert list(out[0]) == [2.0, 5.0]
+
+
+class TestScalarCodelets:
+    def test_write_scalar(self):
+        out = np.zeros((1, 1), dtype=np.int32)
+        WriteScalar().compute_all({"out": out}, {"value": np.array([9.0])}, COST)
+        assert out[0, 0] == 9
+
+    def test_add_to_scalar(self):
+        out = np.array([[5]], dtype=np.int32)
+        AddToScalar().compute_all({"out": out}, {"value": np.array([3.0])}, COST)
+        assert out[0, 0] == 8
+
+    @pytest.mark.parametrize(
+        "op,a,threshold,expected",
+        [
+            ("eq", 3, 3, 1),
+            ("ne", 3, 3, 0),
+            ("lt", 2, 3, 1),
+            ("le", 3, 3, 1),
+            ("gt", 2, 3, 0),
+            ("ge", 4, 3, 1),
+        ],
+    )
+    def test_scalar_compare(self, op, a, threshold, expected):
+        flag = np.zeros((1, 1), dtype=np.int32)
+        ScalarCompare(op, threshold).compute_all(
+            {"a": np.array([[a]]), "flag": flag}, {}, COST
+        )
+        assert flag[0, 0] == expected
+
+    def test_scalar_compare_rejects_unknown(self):
+        with pytest.raises(GraphConstructionError):
+            ScalarCompare("spaceship", 0)
+
+    def test_binary_compare(self):
+        flag = np.zeros((1, 1), dtype=np.int32)
+        ScalarBinaryCompare("lt").compute_all(
+            {"a": np.array([[2]]), "b": np.array([[5]]), "flag": flag}, {}, COST
+        )
+        assert flag[0, 0] == 1
+
+    def test_binary_compare_rejects_unknown(self):
+        with pytest.raises(GraphConstructionError):
+            ScalarBinaryCompare("between")
+
+
+class TestBuildReduce:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        size=st.integers(2, 40),
+        op=st.sampled_from(["min", "max", "sum"]),
+        seed=st.integers(0, 1000),
+    )
+    def test_distributed_reduce_matches_numpy(self, size, op, seed):
+        graph = ComputeGraph(IPUSpec.toy(num_tiles=4))
+        source = graph.add_tensor(
+            "src",
+            (size,),
+            np.float32,
+            mapping=TileMapping.linear_segments(size, max(1, size // 3), range(4)),
+        )
+        out = graph.add_tensor(
+            "out", (1,), np.float32, mapping=TileMapping.single_tile(1)
+        )
+        program = build_reduce(graph, source, op, out, "test")
+        engine = Engine(graph, program)
+        data = np.random.default_rng(seed).uniform(-50, 50, size).astype(np.float32)
+        source.write_host(data)
+        engine.run()
+        expected = {"min": np.min, "max": np.max, "sum": np.sum}[op](data)
+        # Two-stage float32 summation orders differently from numpy's
+        # pairwise sum; near-cancelling sums need an absolute tolerance
+        # scaled to the input magnitude (50 * eps_f32 per element).
+        assert out.read_host()[0] == pytest.approx(
+            expected, rel=1e-4, abs=50 * 1.2e-7 * size * 4
+        )
+
+    def test_reduce_rejects_vector_target(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        source = graph.add_tensor(
+            "src", (4,), np.float32, mapping=TileMapping.single_tile(4)
+        )
+        out = graph.add_tensor(
+            "out", (2,), np.float32, mapping=TileMapping.single_tile(2)
+        )
+        with pytest.raises(GraphConstructionError, match="scalar"):
+            build_reduce(graph, source, "min", out, "bad")

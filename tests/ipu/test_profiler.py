@@ -1,0 +1,75 @@
+"""Tests for the BSP profiler and its report type."""
+
+import pytest
+
+from repro.ipu.profiler import Profiler
+from repro.ipu.spec import IPUSpec
+
+
+@pytest.fixture
+def profiler():
+    return Profiler(IPUSpec.mk2())
+
+
+class TestAccumulation:
+    def test_superstep_charges_three_phases(self, profiler):
+        profiler.record_superstep("step", compute_cycles=1325, exchange_bytes=8000)
+        report = profiler.report()
+        record = report.record_named("step")
+        assert record.compute_seconds == pytest.approx(1e-6)  # 1325 cy @ 1.325GHz
+        assert record.sync_seconds > 0
+        assert record.exchange_seconds > 0
+        assert record.exchange_bytes == 8000
+        assert report.supersteps == 1
+
+    def test_aggregation_by_name(self, profiler):
+        for _ in range(3):
+            profiler.record_superstep("a", 100, 0)
+        profiler.record_superstep("b", 100, 0)
+        report = profiler.report()
+        assert report.record_named("a").executions == 3
+        assert report.record_named("b").executions == 1
+        assert report.supersteps == 4
+
+    def test_zero_exchange_costs_nothing_on_fabric(self, profiler):
+        profiler.record_superstep("a", 100, 0)
+        assert profiler.report().record_named("a").exchange_seconds == 0.0
+
+    def test_host_io(self, profiler):
+        profiler.record_host_io(32_000_000_000)  # 32 GB at 32 GB/s
+        assert profiler.report().host_io_seconds == pytest.approx(1.0)
+
+    def test_report_is_immutable_snapshot(self, profiler):
+        profiler.record_superstep("a", 100, 0)
+        report = profiler.report()
+        profiler.record_superstep("a", 100, 0)
+        assert report.record_named("a").executions == 1
+
+
+class TestReportQueries:
+    def test_by_prefix_sums(self, profiler):
+        profiler.record_superstep("step4/scan", 1000, 0)
+        profiler.record_superstep("step4/final", 2000, 0)
+        profiler.record_superstep("step6/update", 5000, 0)
+        report = profiler.report()
+        step4 = report.by_prefix("step4")
+        total = report.device_seconds
+        assert 0 < step4 < total
+        assert report.by_prefix("step9") == 0.0
+
+    def test_record_named_missing(self, profiler):
+        with pytest.raises(KeyError):
+            profiler.report().record_named("ghost")
+
+    def test_format_table_lists_heaviest_first(self, profiler):
+        profiler.record_superstep("light", 10, 0)
+        profiler.record_superstep("heavy", 1_000_000, 0)
+        table = profiler.report().format_table()
+        assert table.index("heavy") < table.index("light")
+        assert "TOTAL" in table
+
+    def test_total_includes_host_io(self, profiler):
+        profiler.record_superstep("a", 100, 0)
+        profiler.record_host_io(3_200_000)
+        report = profiler.report()
+        assert report.total_seconds > report.device_seconds

@@ -1,0 +1,83 @@
+"""Tests for the IPU hardware spec and its cost conversions."""
+
+import pytest
+
+from repro.ipu.spec import KIB, IPUSpec
+
+
+class TestMk2Constants:
+    """The defaults must match the figures quoted in the paper (§III, §V)."""
+
+    def test_tile_count(self):
+        assert IPUSpec.mk2().num_tiles == 1472
+
+    def test_threads_per_tile(self):
+        assert IPUSpec.mk2().threads_per_tile == 6
+
+    def test_total_threads(self):
+        assert IPUSpec.mk2().total_threads == 8832
+
+    def test_tile_memory(self):
+        assert IPUSpec.mk2().tile_memory_bytes == 624 * KIB
+
+    def test_total_memory_about_900_mib(self):
+        total = IPUSpec.mk2().total_memory_bytes
+        assert 850 * 1024 * 1024 < total < 950 * 1024 * 1024
+
+    def test_clock(self):
+        assert IPUSpec.mk2().clock_hz == pytest.approx(1.325e9)
+
+
+class TestValidation:
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            IPUSpec(num_tiles=0)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            IPUSpec(threads_per_tile=0)
+
+    def test_rejects_negative_memory(self):
+        with pytest.raises(ValueError):
+            IPUSpec(tile_memory_bytes=-1)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            IPUSpec(clock_hz=0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            IPUSpec(exchange_bandwidth_bytes_per_s=0)
+
+
+class TestCosts:
+    def test_cycles_to_seconds(self):
+        spec = IPUSpec(clock_hz=1e9)
+        assert spec.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+    def test_exchange_zero_bytes_is_free(self):
+        assert IPUSpec.mk2().exchange_seconds(0) == 0.0
+
+    def test_exchange_includes_setup(self):
+        spec = IPUSpec.mk2()
+        tiny = spec.exchange_seconds(1)
+        assert tiny > spec.cycles_to_seconds(spec.exchange_setup_cycles) * 0.99
+
+    def test_exchange_scales_with_bytes(self):
+        spec = IPUSpec.mk2()
+        small = spec.exchange_seconds(10_000)
+        large = spec.exchange_seconds(10_000_000)
+        assert large > small
+
+    def test_sync_positive(self):
+        assert IPUSpec.mk2().sync_seconds() > 0
+
+    def test_host_io(self):
+        spec = IPUSpec(host_io_bandwidth_bytes_per_s=1e9)
+        assert spec.host_io_seconds(1e9) == pytest.approx(1.0)
+        assert spec.host_io_seconds(0) == 0.0
+
+    def test_toy_spec_is_small(self):
+        toy = IPUSpec.toy()
+        assert toy.num_tiles < IPUSpec.mk2().num_tiles
+        assert toy.tile_memory_bytes < IPUSpec.mk2().tile_memory_bytes

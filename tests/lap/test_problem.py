@@ -1,0 +1,132 @@
+"""Tests for the LSAP instance type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidProblemError
+from repro.lap.problem import LAPInstance, _next_power_of_two
+
+
+class TestValidation:
+    def test_accepts_square_float_matrix(self):
+        instance = LAPInstance(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert instance.size == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidProblemError, match="square"):
+            LAPInstance(np.zeros((2, 3)))
+
+    def test_rejects_one_dimensional(self):
+        with pytest.raises(InvalidProblemError, match="2-D"):
+            LAPInstance(np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidProblemError):
+            LAPInstance(np.zeros((0, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProblemError, match="NaN"):
+            LAPInstance(np.array([[np.nan, 1.0], [1.0, 1.0]]))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(InvalidProblemError, match="infinity"):
+            LAPInstance(np.array([[np.inf, 1.0], [1.0, 1.0]]))
+
+    def test_costs_are_immutable(self):
+        instance = LAPInstance(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            instance.costs[0, 0] = 5.0
+
+    def test_costs_are_copied(self):
+        source = np.ones((3, 3))
+        instance = LAPInstance(source)
+        source[0, 0] = 99.0
+        assert instance.costs[0, 0] == 1.0
+
+    def test_integer_input_converted_to_float(self):
+        instance = LAPInstance(np.array([[1, 2], [3, 4]]))
+        assert instance.costs.dtype == np.float64
+
+
+class TestRectangular:
+    def test_pads_wide_matrix(self):
+        instance = LAPInstance.from_rectangular(np.ones((2, 4)))
+        assert instance.size == 4
+        assert instance.costs[2:, :].sum() == 0.0
+
+    def test_pads_tall_matrix_with_value(self):
+        instance = LAPInstance.from_rectangular(np.ones((4, 2)), pad_value=7.0)
+        assert instance.size == 4
+        assert np.all(instance.costs[:, 2:] == 7.0)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(InvalidProblemError):
+            LAPInstance.from_rectangular(np.ones(3))
+
+
+class TestSimilarity:
+    def test_transform_preserves_argmax(self):
+        similarity = np.array([[0.9, 0.1], [0.2, 0.8]])
+        instance = LAPInstance.from_similarity(similarity)
+        # Maximizing similarity == matching the diagonal here.
+        assert instance.costs[0, 0] < instance.costs[0, 1]
+        assert instance.costs[1, 1] < instance.costs[1, 0]
+
+    def test_costs_non_negative(self):
+        similarity = np.array([[-3.0, 2.0], [0.5, -1.0]])
+        instance = LAPInstance.from_similarity(similarity)
+        assert instance.costs.min() >= 0.0
+
+    def test_rejects_nan_similarity(self):
+        with pytest.raises(InvalidProblemError):
+            LAPInstance.from_similarity(np.array([[np.nan]]))
+
+    def test_rectangular_similarity_padded(self):
+        instance = LAPInstance.from_similarity(np.ones((2, 3)))
+        assert instance.size == 3
+
+
+class TestPowerOfTwoPadding:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (512, 512), (513, 1024)]
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert _next_power_of_two(value) == expected
+
+    def test_pad_to_power_of_two(self):
+        instance = LAPInstance(np.ones((5, 5)))
+        padded = instance.padded_to_power_of_two()
+        assert padded.size == 8
+        assert np.all(padded.costs[:5, :5] == 1.0)
+        assert np.all(padded.costs[5:, :] == 0.0)
+
+    def test_already_power_of_two_is_identity(self):
+        instance = LAPInstance(np.ones((4, 4)))
+        assert instance.padded_to_power_of_two() is instance
+
+    def test_is_power_of_two_flag(self):
+        assert LAPInstance(np.ones((8, 8))).is_power_of_two
+        assert not LAPInstance(np.ones((6, 6))).is_power_of_two
+
+
+class TestTotalCost:
+    def test_total_cost_of_assignment(self):
+        instance = LAPInstance(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert instance.total_cost(np.array([1, 0])) == 5.0
+
+    def test_rejects_wrong_shape(self):
+        instance = LAPInstance(np.ones((3, 3)))
+        with pytest.raises(InvalidProblemError):
+            instance.total_cost(np.array([0, 1]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 12), seed=st.integers(0, 10_000))
+    def test_total_cost_matches_manual_sum(self, n, seed):
+        gen = np.random.default_rng(seed)
+        costs = gen.uniform(0, 10, (n, n))
+        assignment = gen.permutation(n)
+        instance = LAPInstance(costs)
+        manual = sum(costs[i, assignment[i]] for i in range(n))
+        assert instance.total_cost(assignment) == pytest.approx(manual)

@@ -1,0 +1,63 @@
+"""Tests for the rectangular-LSAP reduction."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines.cpu_lapjv import LAPJVSolver
+from repro.core.solver import HunIPUSolver
+from repro.errors import InvalidProblemError
+from repro.ipu.spec import IPUSpec
+from repro.lap.rectangular import solve_rectangular
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+
+
+def _scipy_rect(costs):
+    rows, cols = linear_sum_assignment(costs)
+    return float(costs[rows, cols].sum())
+
+
+class TestWide:
+    @pytest.mark.parametrize("shape", [(3, 7), (1, 5), (6, 8)])
+    def test_matches_scipy(self, solver, rng, shape):
+        costs = rng.uniform(1, 20, shape)
+        assignment, total = solve_rectangular(solver, costs)
+        assert total == pytest.approx(_scipy_rect(costs), abs=1e-7)
+        assert assignment.shape == (shape[0],)
+        assert len(set(assignment.tolist())) == shape[0]  # distinct columns
+
+    def test_square_passthrough(self, solver, rng):
+        costs = rng.uniform(0, 9, (5, 5))
+        assignment, total = solve_rectangular(solver, costs)
+        assert total == pytest.approx(_scipy_rect(costs), abs=1e-9)
+
+
+class TestTall:
+    @pytest.mark.parametrize("shape", [(7, 3), (5, 1), (8, 6)])
+    def test_matches_scipy(self, solver, rng, shape):
+        costs = rng.uniform(1, 20, shape)
+        assignment, total = solve_rectangular(solver, costs)
+        assert total == pytest.approx(_scipy_rect(costs), abs=1e-7)
+        matched = assignment[assignment >= 0]
+        assert matched.size == shape[1]  # exactly c rows matched
+        assert len(set(matched.tolist())) == shape[1]
+
+    def test_unmatched_rows_marked(self, solver, rng):
+        costs = rng.uniform(0, 5, (6, 2))
+        assignment, _ = solve_rectangular(solver, costs)
+        assert (assignment == -1).sum() == 4
+
+
+class TestValidation:
+    def test_rejects_bad_rank(self, solver):
+        with pytest.raises(InvalidProblemError):
+            solve_rectangular(solver, np.zeros(4))
+
+    def test_works_with_other_solvers(self, rng):
+        costs = rng.uniform(1, 9, (4, 6))
+        _, total = solve_rectangular(LAPJVSolver(), costs)
+        assert total == pytest.approx(_scipy_rect(costs), abs=1e-9)

@@ -1,0 +1,60 @@
+"""Tests for the shared assignment-result type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.lap.result import AssignmentResult
+
+
+def _result(assignment, cost=0.0, **kwargs):
+    return AssignmentResult(
+        assignment=np.asarray(assignment), total_cost=cost, solver="test", **kwargs
+    )
+
+
+class TestConstruction:
+    def test_assignment_frozen(self):
+        result = _result([1, 0])
+        with pytest.raises(ValueError):
+            result.assignment[0] = 5
+
+    def test_rejects_matrix_assignment(self):
+        with pytest.raises(SolverError):
+            _result(np.zeros((2, 2), dtype=int))
+
+    def test_size(self):
+        assert _result([2, 0, 1]).size == 3
+
+    def test_total_cost_coerced_to_float(self):
+        assert isinstance(_result([0], cost=np.float32(3)).total_cost, float)
+
+
+class TestViews:
+    def test_row_for_column_inverse(self):
+        result = _result([2, 0, 1])
+        assert list(result.row_for_column) == [1, 2, 0]
+
+    def test_matching_matrix_is_permutation_matrix(self):
+        result = _result([1, 2, 0])
+        matrix = result.matching_matrix()
+        assert matrix.sum() == 3
+        assert np.all(matrix.sum(axis=0) == 1)
+        assert np.all(matrix.sum(axis=1) == 1)
+        assert matrix[0, 1] == 1
+
+
+class TestRestriction:
+    def test_restrict_padded_result(self):
+        result = _result([1, 0, 2, 3])
+        restricted = result.restricted_to(2)
+        assert list(restricted.assignment) == [1, 0]
+
+    def test_restrict_rejects_cross_boundary_match(self):
+        result = _result([3, 0, 2, 1])  # row 0 matched to padding column 3
+        with pytest.raises(SolverError, match="padding"):
+            result.restricted_to(2)
+
+    def test_restrict_rejects_growth(self):
+        with pytest.raises(SolverError):
+            _result([0]).restricted_to(5)

@@ -1,0 +1,108 @@
+"""Tests for matching validity and duality certificates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cpu_lapjv import solve_lapjv
+from repro.errors import SolverError
+from repro.lap.problem import LAPInstance
+from repro.lap.result import AssignmentResult
+from repro.lap.validation import (
+    check_optimality,
+    check_perfect_matching,
+    check_potentials,
+    extract_potentials,
+)
+
+
+class TestPerfectMatching:
+    def test_accepts_permutation(self):
+        check_perfect_matching(np.array([2, 0, 1]), 3)
+
+    def test_rejects_repeat(self):
+        with pytest.raises(SolverError, match="repeats"):
+            check_perfect_matching(np.array([0, 0, 1]), 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SolverError, match="out-of-range"):
+            check_perfect_matching(np.array([0, 3]), 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(SolverError, match="shape"):
+            check_perfect_matching(np.array([0, 1]), 3)
+
+
+class TestPotentials:
+    def test_valid_certificate_passes(self):
+        costs = np.array([[4.0, 1.0], [2.0, 3.0]])
+        instance = LAPInstance(costs)
+        assignment, u, v = solve_lapjv(costs)
+        check_potentials(instance, u, v, assignment)
+
+    def test_infeasible_duals_rejected(self):
+        instance = LAPInstance(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        u = np.array([10.0, 0.0])
+        v = np.zeros(2)
+        with pytest.raises(SolverError, match="infeasible"):
+            check_potentials(instance, u, v, np.array([0, 1]))
+
+    def test_slack_on_matched_edge_rejected(self):
+        instance = LAPInstance(np.array([[1.0, 5.0], [5.0, 1.0]]))
+        u = np.zeros(2)
+        v = np.zeros(2)
+        # Feasible but not tight on the (suboptimal) anti-diagonal matching.
+        with pytest.raises(SolverError, match="slackness"):
+            check_potentials(instance, u, v, np.array([1, 0]))
+
+    def test_extract_from_reduced_slack(self):
+        costs = np.array([[3.0, 7.0], [5.0, 2.0]])
+        instance = LAPInstance(costs)
+        u_true = np.array([1.0, 2.0])
+        v_true = np.array([0.5, -1.0])
+        slack = costs - u_true[:, None] - v_true[None, :]
+        u, v = extract_potentials(instance, slack)
+        assert np.allclose(u[:, None] + v[None, :], u_true[:, None] + v_true[None, :])
+
+    def test_extract_rejects_corrupt_slack(self):
+        instance = LAPInstance(np.ones((3, 3)))
+        corrupt = np.zeros((3, 3))
+        corrupt[2, 2] = 0.5  # not expressible as u_i + v_j
+        with pytest.raises(SolverError, match="potential reduction"):
+            extract_potentials(instance, corrupt)
+
+    def test_extract_rejects_shape_mismatch(self):
+        instance = LAPInstance(np.ones((3, 3)))
+        with pytest.raises(SolverError, match="shape"):
+            extract_potentials(instance, np.zeros((2, 2)))
+
+
+class TestOptimality:
+    def test_optimal_assignment_passes(self):
+        costs = np.array([[4.0, 1.0], [2.0, 3.0]])
+        result = AssignmentResult(np.array([1, 0]), 3.0, "t")
+        check_optimality(LAPInstance(costs), result)
+
+    def test_suboptimal_assignment_rejected(self):
+        costs = np.array([[4.0, 1.0], [2.0, 3.0]])
+        result = AssignmentResult(np.array([0, 1]), 7.0, "t")
+        with pytest.raises(SolverError, match="exceeds the optimum"):
+            check_optimality(LAPInstance(costs), result)
+
+    def test_misreported_cost_rejected(self):
+        costs = np.array([[4.0, 1.0], [2.0, 3.0]])
+        result = AssignmentResult(np.array([1, 0]), 99.0, "t")
+        with pytest.raises(SolverError, match="disagrees"):
+            check_optimality(LAPInstance(costs), result)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 10), seed=st.integers(0, 10_000))
+    def test_lapjv_duals_certify_on_random_instances(self, n, seed):
+        gen = np.random.default_rng(seed)
+        costs = gen.uniform(0, 100, (n, n))
+        instance = LAPInstance(costs)
+        assignment, u, v = solve_lapjv(costs)
+        check_potentials(instance, u, v, assignment)
+        result = AssignmentResult(assignment, instance.total_cost(assignment), "jv")
+        check_optimality(instance, result)

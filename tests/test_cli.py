@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_experiments_enumerated(self):
+        args = build_parser().parse_args(["run", "table2", "--scale", "quick"])
+        assert args.experiment == "table2"
+        assert args.scale == "quick"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table9"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.size == 128
+        assert args.solver == "hunipu"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "1472 tiles" in out
+        assert "a100" in out
+
+    @pytest.mark.parametrize("solver", ["hunipu", "cpu", "date-nagi", "lapjv", "scipy"])
+    def test_solve_each_solver(self, capsys, solver):
+        assert main(["solve", "--size", "12", "--k", "5", "--solver", solver]) == 0
+        out = capsys.readouterr().out
+        assert "optimal cost" in out
+
+    def test_solve_fastha_pads_non_power_of_two(self, capsys):
+        assert main(["solve", "--size", "12", "--solver", "fastha"]) == 0
+        assert "fastha" in capsys.readouterr().out
+
+    def test_solve_uniform(self, capsys):
+        assert main(["solve", "--size", "10", "--distribution", "uniform"]) == 0
+        assert "uniform" in capsys.readouterr().out
+
+    def test_run_table1(self, capsys, tmp_path):
+        assert main(["run", "table1", "--scale", "quick",
+                     "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_run_table2_quick(self, capsys):
+        assert main(["run", "table2", "--scale", "quick"]) == 0
+        assert "Table II" in capsys.readouterr().out

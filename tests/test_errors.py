@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy and the package facade."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        subtypes = [
+            errors.InvalidProblemError,
+            errors.SolverError,
+            errors.GraphConstructionError,
+            errors.CompilationError,
+            errors.TileMemoryError,
+            errors.ExecutionError,
+            errors.MappingError,
+            errors.GPUSimulationError,
+        ]
+        for subtype in subtypes:
+            assert issubclass(subtype, errors.ReproError)
+
+    def test_tile_memory_is_compilation_error(self):
+        assert issubclass(errors.TileMemoryError, errors.CompilationError)
+
+    def test_value_error_compatibility(self):
+        """Validation errors double as ValueError for idiomatic catching."""
+        assert issubclass(errors.InvalidProblemError, ValueError)
+        assert issubclass(errors.MappingError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(errors.SolverError, RuntimeError)
+        assert issubclass(errors.ExecutionError, RuntimeError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TileMemoryError("boom")
+
+
+class TestPackageFacade:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_solver_classes_have_names(self):
+        assert repro.HunIPUSolver.name == "hunipu"
+        assert repro.CPUHungarianSolver.name == "cpu-munkres"
+        assert repro.FastHASolver.name == "fastha"
+        assert repro.LAPJVSolver.name == "cpu-lapjv"
+        assert repro.ScipySolver.name == "scipy-oracle"

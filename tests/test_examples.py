@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py", "24")
+        assert result.returncode == 0, result.stderr
+        assert "scipy oracle agrees: True" in result.stdout
+        assert "Per-step modeled time" in result.stdout
+
+    def test_graph_alignment(self):
+        result = _run("graph_alignment.py", "HighSchool", "0.1", "0.99")
+        assert result.returncode == 0, result.stderr
+        assert "HunIPU" in result.stdout
+        assert "FastHA" in result.stdout
+
+    def test_resource_allocation(self):
+        result = _run("resource_allocation.py", "24")
+        assert result.returncode == 0, result.stderr
+        assert "optimal (HunIPU) total" in result.stdout
+
+    def test_shape_matching(self):
+        result = _run("shape_matching.py", "24", "4")
+        assert result.returncode == 0, result.stderr
+        assert "recovered correspondence in 4/4 frames" in result.stdout
+
+    def test_bfs_on_ipu(self):
+        result = _run("bfs_on_ipu.py", "48", "4")
+        assert result.returncode == 0, result.stderr
+        assert "distances match networkx : True" in result.stdout
+
+    def test_ipu_tour(self):
+        result = _run("ipu_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "compiler rejected" in result.stdout
+        assert "BSP accounting" in result.stdout

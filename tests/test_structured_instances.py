@@ -1,0 +1,139 @@
+"""Differential tests on structured (adversarial) instance families.
+
+Random matrices exercise the average case; these families exercise the
+algorithm's corners: maximal tie degeneracy, rank-one structure (every
+assignment optimal), block structure (forced sub-assignments), permutation
+matrices (a unique sharp optimum), and near-degenerate values.  Every
+family runs through HunIPU, the CPU baseline, and the kernel-level FastHA
+where sizes allow, against the scipy optimum.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines.cpu_hungarian import CPUHungarianSolver
+from repro.baselines.fastha_kernels import FastHAKernelSolver
+from repro.core.solver import HunIPUSolver
+from repro.ipu.spec import IPUSpec
+from repro.lap.problem import LAPInstance
+
+
+def _optimum(costs):
+    rows, cols = linear_sum_assignment(costs)
+    return float(costs[rows, cols].sum())
+
+
+@pytest.fixture(scope="module")
+def solvers():
+    return [
+        HunIPUSolver(spec=IPUSpec.toy(num_tiles=4)),
+        CPUHungarianSolver(),
+    ]
+
+
+def _assert_all_optimal(costs, solvers):
+    instance = LAPInstance(costs)
+    target = _optimum(costs)
+    for solver in solvers:
+        result = solver.solve(instance)
+        assert result.total_cost == pytest.approx(target, abs=1e-7), solver.name
+
+
+class TestDegenerateFamilies:
+    def test_all_equal_costs(self, solvers):
+        _assert_all_optimal(np.full((16, 16), 7.0), solvers)
+
+    def test_rank_one_outer_product(self, solvers):
+        """u_i * v_j costs: the optimum anti-sorts u against v."""
+        u = np.linspace(1, 4, 12)
+        v = np.linspace(2, 9, 12)
+        _assert_all_optimal(np.outer(u, v), solvers)
+
+    def test_additive_rank_one(self, solvers):
+        """u_i + v_j costs: every permutation has the same total."""
+        u = np.arange(10, dtype=float)
+        v = np.arange(10, dtype=float) * 3
+        costs = u[:, None] + v[None, :]
+        instance = LAPInstance(costs)
+        expected = u.sum() + v.sum()
+        for solver in solvers:
+            result = solver.solve(instance)
+            assert result.total_cost == pytest.approx(expected)
+
+    def test_permutation_matrix_sharp_optimum(self, solvers):
+        """Cost 0 on one hidden permutation, 1 elsewhere: must find it."""
+        gen = np.random.default_rng(5)
+        n = 14
+        perm = gen.permutation(n)
+        costs = np.ones((n, n))
+        costs[np.arange(n), perm] = 0.0
+        instance = LAPInstance(costs)
+        for solver in solvers:
+            result = solver.solve(instance)
+            assert result.total_cost == pytest.approx(0.0)
+            assert np.array_equal(result.assignment, perm)
+
+    def test_block_diagonal_forces_local_assignments(self, solvers):
+        """Cheap 4x4 blocks on the diagonal, expensive elsewhere."""
+        gen = np.random.default_rng(6)
+        n, block = 16, 4
+        costs = np.full((n, n), 100.0)
+        for start in range(0, n, block):
+            costs[start : start + block, start : start + block] = gen.uniform(
+                0, 1, (block, block)
+            )
+        instance = LAPInstance(costs)
+        for solver in solvers:
+            result = solver.solve(instance)
+            # Every row stays inside its block.
+            assert all(
+                row // block == int(col) // block
+                for row, col in enumerate(result.assignment)
+            )
+            assert result.total_cost == pytest.approx(
+                _optimum(costs), abs=1e-9
+            )
+
+    def test_near_degenerate_values(self, solvers):
+        """Values differing by ~1e-9 of the magnitude stress the zero
+        tolerance without crossing it."""
+        gen = np.random.default_rng(7)
+        base = gen.uniform(1000.0, 1001.0, (12, 12))
+        _assert_all_optimal(base, solvers)
+
+    def test_single_row_dominates(self, solvers):
+        """One row is expensive everywhere except one column."""
+        costs = np.ones((10, 10))
+        costs[3, :] = 1000.0
+        costs[3, 7] = 0.5
+        instance = LAPInstance(costs)
+        for solver in solvers:
+            result = solver.solve(instance)
+            assert result.assignment[3] == 7
+
+    def test_antidiagonal_optimum(self, solvers):
+        n = 12
+        costs = np.fromfunction(
+            lambda i, j: (i + j - (n - 1)) ** 2 + 1.0, (n, n)
+        )
+        instance = LAPInstance(costs)
+        for solver in solvers:
+            result = solver.solve(instance)
+            assert np.array_equal(
+                result.assignment, (n - 1) - np.arange(n)
+            )
+
+
+class TestKernelFastHAOnStructure:
+    def test_permutation_matrix(self):
+        gen = np.random.default_rng(8)
+        perm = gen.permutation(16)
+        costs = np.ones((16, 16))
+        costs[np.arange(16), perm] = 0.0
+        result = FastHAKernelSolver().solve(LAPInstance(costs))
+        assert result.total_cost == pytest.approx(0.0)
+
+    def test_all_ties(self):
+        result = FastHAKernelSolver().solve(LAPInstance(np.full((8, 8), 3.0)))
+        assert result.total_cost == pytest.approx(24.0)
