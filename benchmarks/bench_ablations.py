@@ -38,5 +38,5 @@ def test_mapping_probe(benchmark, decomposition):
 
 def test_report_ablations(benchmark, scale, save_report):
     result = benchmark.pedantic(run_ablations, args=(scale,), rounds=1, iterations=1)
-    save_report("ablations", result.format())
+    save_report("ablations", result)
     assert len(result.tables) == 6

@@ -41,7 +41,7 @@ def test_fastha_midrange(benchmark, scale, fastha):
 def test_report_figure5(benchmark, scale, save_report):
     """Regenerate every Figure 5 panel (runtime vs value range per size)."""
     result = benchmark.pedantic(run_figure5, args=(scale,), rounds=1, iterations=1)
-    save_report("figure5", result.format())
+    save_report("figure5", result)
     fast = result.records_for("fastha")
     ipu = result.records_for("hunipu")
     speedups = [

@@ -18,5 +18,5 @@ def test_generate_dataset(benchmark, dataset):
 
 def test_report_table1(benchmark, scale, save_report):
     result = benchmark.pedantic(run_table1, args=(scale,), rounds=1, iterations=1)
-    save_report("table1", result.format())
+    save_report("table1", result)
     assert any("OK" in note for note in result.shape_notes)

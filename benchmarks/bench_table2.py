@@ -63,7 +63,7 @@ def test_cpu_gaussian_large(benchmark, scale, cpu):
 def test_report_table2(benchmark, scale, save_report):
     """Regenerate the full Table II grid (the paper-comparable artifact)."""
     result = benchmark.pedantic(run_table2, args=(scale,), rounds=1, iterations=1)
-    save_report("table2", result.format())
+    save_report("table2", result)
     gains = [
         cpu.device_time_s / ipu.device_time_s
         for cpu, ipu in zip(

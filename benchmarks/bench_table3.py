@@ -50,5 +50,5 @@ def test_fastha_alignment_padded(benchmark, scale):
 def test_report_table3(benchmark, scale, save_report):
     """Regenerate all three Table III sub-tables."""
     result = benchmark.pedantic(run_table3, args=(scale,), rounds=1, iterations=1)
-    save_report("table3", result.format())
+    save_report("table3", result)
     assert any("OK" in note for note in result.shape_notes)

@@ -31,12 +31,28 @@ def scale() -> BenchScale:
 
 @pytest.fixture(scope="session")
 def save_report():
-    """Persist a harness report and echo it to stdout."""
+    """Persist a harness report (text + ``BENCH_*.json``) and echo it.
+
+    Accepts either the :class:`~repro.bench.harness.ExperimentResult`
+    itself (preferred — also writes the machine-readable run record) or a
+    pre-formatted report string.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, report) -> None:
+        from repro.bench.harness import ExperimentResult
+        from repro.bench.recording import save_bench_json
+
+        saved = []
+        if isinstance(report, ExperimentResult):
+            text = report.format()
+            saved.append(save_bench_json(report, RESULTS_DIR))
+        else:
+            text = report
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        saved.insert(0, path)
+        locations = ", ".join(str(p) for p in saved)
+        print(f"\n{text}\n[saved to {locations}]")
 
     return _save

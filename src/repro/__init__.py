@@ -8,7 +8,9 @@ Public API highlights:
 * :mod:`repro.lap` — problem/result/certificate types;
 * :mod:`repro.ipu` / :mod:`repro.gpu` — the simulated hardware substrates;
 * :mod:`repro.alignment` — the GRAMPA graph-alignment use case;
-* :mod:`repro.bench` — harnesses regenerating every table and figure.
+* :mod:`repro.bench` — harnesses regenerating every table and figure;
+* :mod:`repro.obs` — tracing, metrics, and JSON run export
+  (:class:`repro.obs.Tracer`, :class:`repro.obs.MetricsRegistry`).
 """
 
 from repro.baselines import (
@@ -19,6 +21,7 @@ from repro.baselines import (
 )
 from repro.core import HunIPUSolver
 from repro.lap import AssignmentResult, LAPInstance
+from repro.obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -30,5 +33,7 @@ __all__ = [
     "ScipySolver",
     "AssignmentResult",
     "LAPInstance",
+    "Tracer",
+    "MetricsRegistry",
     "__version__",
 ]

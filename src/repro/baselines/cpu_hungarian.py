@@ -16,11 +16,11 @@ favourable model for the CPU, so the reported speedups are conservative.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 from repro.baselines.munkres_reference import OpCounter, solve_munkres
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
+from repro.obs.timing import wall_timer
 
 __all__ = ["CPUSpec", "CPUHungarianSolver"]
 
@@ -84,16 +84,15 @@ class CPUHungarianSolver:
 
     def solve(self, instance: LAPInstance) -> AssignmentResult:
         """Solve ``instance``; ``device_time_s`` is the modeled CPU time."""
-        started = time.perf_counter()
-        ops = OpCounter()
-        outcome = solve_munkres(instance.costs, ops=ops)
-        wall = time.perf_counter() - started
+        with wall_timer() as timer:
+            ops = OpCounter()
+            outcome = solve_munkres(instance.costs, ops=ops)
         return AssignmentResult(
             assignment=outcome.assignment,
             total_cost=instance.total_cost(outcome.assignment),
             solver=self.name,
             device_time_s=self.spec.model_seconds(ops),
-            wall_time_s=wall,
+            wall_time_s=timer.seconds,
             iterations=outcome.augmentations + outcome.slack_updates,
             stats={
                 "primes": outcome.primes,

@@ -17,13 +17,13 @@ optimality certificate.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
 from repro.errors import SolverError
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
+from repro.obs.timing import wall_timer
 
 __all__ = ["solve_lapjv", "LAPJVSolver"]
 
@@ -94,15 +94,14 @@ class LAPJVSolver:
 
     def solve(self, instance: LAPInstance) -> AssignmentResult:
         """Solve ``instance``; no device model (``device_time_s=None``)."""
-        started = time.perf_counter()
-        assignment, u, v = solve_lapjv(instance.costs)
-        wall = time.perf_counter() - started
+        with wall_timer() as timer:
+            assignment, u, v = solve_lapjv(instance.costs)
         return AssignmentResult(
             assignment=assignment,
             total_cost=instance.total_cost(assignment),
             solver=self.name,
             device_time_s=None,
-            wall_time_s=wall,
+            wall_time_s=timer.seconds,
             iterations=instance.size,
             stats={"dual_u": u, "dual_v": v},
         )

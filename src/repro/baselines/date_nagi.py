@@ -20,13 +20,13 @@ benchmark harness show *why* FastHA was the right competitor to pick.
 
 from __future__ import annotations
 
-import time
 
 from repro.baselines.munkres_reference import MunkresObserver, solve_munkres
 from repro.gpu.simt import GPUDevice
 from repro.gpu.spec import GPUSpec
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
+from repro.obs.timing import wall_timer
 
 __all__ = ["DateNagiSolver", "DateNagiCostObserver"]
 
@@ -127,22 +127,21 @@ class DateNagiSolver:
 
     def solve(self, instance: LAPInstance) -> AssignmentResult:
         """Solve ``instance``; modeled A100 time in ``device_time_s``."""
-        started = time.perf_counter()
-        device = GPUDevice(self.spec)
-        n = instance.size
-        device.malloc("slack", n * n * _FLOAT_BYTES)
-        device.malloc("covers_stars", 5 * n * _INT_BYTES)
-        outcome = solve_munkres(
-            instance.costs, observer=DateNagiCostObserver(device)
-        )
-        wall = time.perf_counter() - started
+        with wall_timer() as timer:
+            device = GPUDevice(self.spec)
+            n = instance.size
+            device.malloc("slack", n * n * _FLOAT_BYTES)
+            device.malloc("covers_stars", 5 * n * _INT_BYTES)
+            outcome = solve_munkres(
+                instance.costs, observer=DateNagiCostObserver(device)
+            )
         profile = device.profile()
         return AssignmentResult(
             assignment=outcome.assignment,
             total_cost=instance.total_cost(outcome.assignment),
             solver=self.name,
             device_time_s=profile.device_seconds,
-            wall_time_s=wall,
+            wall_time_s=timer.seconds,
             iterations=outcome.augmentations + outcome.slack_updates,
             stats={
                 "kernel_launches": profile.kernel_launches,

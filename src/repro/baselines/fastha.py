@@ -22,7 +22,6 @@ zero fill).
 
 from __future__ import annotations
 
-import time
 
 from repro.baselines.munkres_reference import MunkresObserver, solve_munkres
 from repro.errors import SolverError
@@ -30,6 +29,7 @@ from repro.gpu.simt import GPUDevice
 from repro.gpu.spec import GPUSpec
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
+from repro.obs.timing import wall_timer
 
 __all__ = ["FastHASolver", "FastHACostObserver"]
 
@@ -171,22 +171,21 @@ class FastHASolver:
                 f"FastHA only operates on 2^m sizes, got {instance.size}; "
                 "use solve_padded() to pad the way the paper does"
             )
-        started = time.perf_counter()
-        device = GPUDevice(self.spec)
-        n = instance.size
-        device.malloc("slack", n * n * _FLOAT_BYTES)
-        device.malloc("covers", 2 * n * _INT_BYTES)
-        device.malloc("stars_primes", 3 * n * _INT_BYTES)
-        observer = FastHACostObserver(device)
-        outcome = solve_munkres(instance.costs, observer=observer)
-        wall = time.perf_counter() - started
+        with wall_timer() as timer:
+            device = GPUDevice(self.spec)
+            n = instance.size
+            device.malloc("slack", n * n * _FLOAT_BYTES)
+            device.malloc("covers", 2 * n * _INT_BYTES)
+            device.malloc("stars_primes", 3 * n * _INT_BYTES)
+            observer = FastHACostObserver(device)
+            outcome = solve_munkres(instance.costs, observer=observer)
         profile = device.profile()
         return AssignmentResult(
             assignment=outcome.assignment,
             total_cost=instance.total_cost(outcome.assignment),
             solver=self.name,
             device_time_s=profile.device_seconds,
-            wall_time_s=wall,
+            wall_time_s=timer.seconds,
             iterations=outcome.augmentations + outcome.slack_updates,
             stats={
                 "kernel_launches": profile.kernel_launches,

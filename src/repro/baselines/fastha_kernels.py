@@ -16,7 +16,6 @@ whole matrix here, which is the point, and the price.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -27,6 +26,7 @@ from repro.gpu.simt import GPUDevice
 from repro.gpu.spec import GPUSpec
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
+from repro.obs.timing import wall_timer
 
 __all__ = ["FastHAKernelSolver"]
 
@@ -45,7 +45,7 @@ class FastHAKernelSolver:
             raise SolverError(
                 f"FastHA only operates on 2^m sizes, got {instance.size}"
             )
-        started = time.perf_counter()
+        timer = wall_timer().start()
         device = GPUDevice(self.spec)
         kernels = KernelLibrary(device)
         n = instance.size
@@ -105,7 +105,7 @@ class FastHAKernelSolver:
                 )
                 primes += 1
 
-        wall = time.perf_counter() - started
+        timer.stop()
         profile = device.profile()
         assignment = row_star.array.copy()
         return AssignmentResult(
@@ -113,7 +113,7 @@ class FastHAKernelSolver:
             total_cost=instance.total_cost(assignment),
             solver=self.name,
             device_time_s=profile.device_seconds,
-            wall_time_s=wall,
+            wall_time_s=timer.seconds,
             iterations=augmentations + slack_updates,
             stats={
                 "kernel_launches": profile.kernel_launches,

@@ -6,13 +6,13 @@ independent, trusted optimum to compare every simulated solver against.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
+from repro.obs.timing import wall_timer
 
 __all__ = ["ScipySolver"]
 
@@ -24,9 +24,8 @@ class ScipySolver:
 
     def solve(self, instance: LAPInstance) -> AssignmentResult:
         """Exact optimum; no device model."""
-        started = time.perf_counter()
-        rows, cols = linear_sum_assignment(instance.costs)
-        wall = time.perf_counter() - started
+        with wall_timer() as timer:
+            rows, cols = linear_sum_assignment(instance.costs)
         assignment = np.empty(instance.size, dtype=np.int64)
         assignment[rows] = cols
         return AssignmentResult(
@@ -34,5 +33,5 @@ class ScipySolver:
             total_cost=instance.total_cost(assignment),
             solver=self.name,
             device_time_s=None,
-            wall_time_s=wall,
+            wall_time_s=timer.seconds,
         )

@@ -3,7 +3,12 @@
 from repro.bench.ablations import run_ablations
 from repro.bench.figure5 import run_figure5
 from repro.bench.harness import ExperimentResult, format_grid, format_records
-from repro.bench.recording import BenchScale, RunRecord, environment_summary
+from repro.bench.recording import (
+    BenchScale,
+    RunRecord,
+    environment_summary,
+    save_bench_json,
+)
 from repro.bench.table1 import run_table1
 from repro.bench.table2 import run_table2
 from repro.bench.table3 import run_table3
@@ -17,6 +22,7 @@ __all__ = [
     "BenchScale",
     "RunRecord",
     "environment_summary",
+    "save_bench_json",
     "run_table1",
     "run_table2",
     "run_table3",

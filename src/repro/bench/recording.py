@@ -17,11 +17,23 @@ the host **wall-clock** of the simulation (what pytest-benchmark measures).
 from __future__ import annotations
 
 import dataclasses
+import logging
 import os
+import pathlib
 import platform
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
-__all__ = ["RunRecord", "BenchScale", "environment_summary"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.harness import ExperimentResult
+
+__all__ = [
+    "RunRecord",
+    "BenchScale",
+    "environment_summary",
+    "save_bench_json",
+]
+
+logger = logging.getLogger(__name__)
 
 _SCALE_ENV = "REPRO_BENCH_SCALE"
 _VALID_SCALES = ("quick", "default", "paper")
@@ -102,6 +114,22 @@ class BenchScale:
     def from_env(cls, default: str = "default") -> "BenchScale":
         """Read ``REPRO_BENCH_SCALE`` (falling back to ``default``)."""
         return cls.named(os.environ.get(_SCALE_ENV, default))
+
+
+def save_bench_json(
+    result: "ExperimentResult", directory: pathlib.Path | str
+) -> pathlib.Path:
+    """Write ``BENCH_<experiment>.json`` (schema ``repro.bench-run/1``).
+
+    The machine-readable twin of the text report: every
+    :class:`RunRecord` with its params/extra, the scale, and the host
+    environment, so benchmark trajectories can be diffed across PRs.
+    """
+    from repro.obs.export import write_bench_record
+
+    path = write_bench_record(result, directory)
+    logger.info("wrote bench run record %s", path)
+    return path
 
 
 def environment_summary() -> dict[str, str]:

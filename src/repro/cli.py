@@ -1,17 +1,25 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing any code:
+Four commands cover the common workflows without writing any code:
 
 * ``info`` — the simulated device specs and library version;
 * ``solve`` — solve one synthetic instance with any solver and print the
-  result + modeled device time;
+  result + modeled device time; ``--trace out.json`` writes a
+  schema-versioned event trace (HunIPU only);
+* ``profile`` — solve one instance on HunIPU with full instrumentation and
+  print the per-step BSP table plus imbalance/convergence diagnostics;
 * ``run`` — regenerate one (or all) of the paper's tables/figures at a
-  chosen scale, printing the paper-layout report and optionally saving it.
+  chosen scale, printing the paper-layout report and optionally saving the
+  text report and machine-readable ``BENCH_*.json`` run records.
+
+Every command accepts ``--log-level`` / ``-v`` (logs go to stderr, so
+stdout stays machine-readable).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import pathlib
 import sys
 from typing import Callable, Sequence
@@ -20,8 +28,38 @@ from repro import __version__
 
 __all__ = ["main", "build_parser"]
 
+logger = logging.getLogger(__name__)
+
 _EXPERIMENTS = ("table1", "table2", "figure5", "table3", "ablations")
 _SOLVERS = ("hunipu", "cpu", "fastha", "date-nagi", "lapjv", "scipy")
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _add_logging_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=None,
+        help="logging verbosity (overrides -v)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v for info, -vv for debug logging",
+    )
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", type=int, default=128, help="matrix size n")
+    parser.add_argument(
+        "--k", type=float, default=100, help="value-range multiplier (costs in [1, k*n])"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--distribution", choices=("gaussian", "uniform"), default="gaussian"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,18 +70,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="show device specs and version")
+    info = sub.add_parser("info", help="show device specs and version")
+    _add_logging_args(info)
 
     solve = sub.add_parser("solve", help="solve one synthetic LAP instance")
-    solve.add_argument("--size", type=int, default=128, help="matrix size n")
-    solve.add_argument(
-        "--k", type=float, default=100, help="value-range multiplier (costs in [1, k*n])"
-    )
-    solve.add_argument("--seed", type=int, default=0)
+    _add_instance_args(solve)
     solve.add_argument("--solver", choices=_SOLVERS, default="hunipu")
     solve.add_argument(
-        "--distribution", choices=("gaussian", "uniform"), default="gaussian"
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="write a structured event trace (hunipu solver only)",
     )
+    _add_logging_args(solve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="solve one instance on HunIPU and print per-step diagnostics",
+    )
+    _add_instance_args(profile)
+    profile.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="also write trace + profile + metrics as JSON",
+    )
+    _add_logging_args(profile)
 
     run = sub.add_parser("run", help="regenerate a paper table/figure")
     run.add_argument(
@@ -62,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=pathlib.Path, default=None,
         help="directory to save the report text into",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="also save BENCH_<experiment>.json run records (needs --output)",
+    )
+    _add_logging_args(run)
     return parser
 
 
@@ -87,7 +147,7 @@ def _cmd_info() -> int:
     return 0
 
 
-def _make_solver(name: str):
+def _make_solver(name: str, **kwargs):
     from repro.baselines import (
         CPUHungarianSolver,
         DateNagiSolver,
@@ -105,20 +165,37 @@ def _make_solver(name: str):
         "lapjv": LAPJVSolver,
         "scipy": ScipySolver,
     }
-    return factories[name]()
+    return factories[name](**kwargs)
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _generate_instance(args: argparse.Namespace):
     from repro.data.synthetic import gaussian_instance, uniform_instance
 
     generate = gaussian_instance if args.distribution == "gaussian" else uniform_instance
-    instance = generate(args.size, args.k, seed=args.seed)
-    solver = _make_solver(args.solver)
+    return generate(args.size, args.k, seed=args.seed)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, trace_to_dict, write_json
+
+    if args.trace is not None and args.solver != "hunipu":
+        print(
+            f"error: --trace instruments the simulated IPU and needs "
+            f"--solver hunipu (got {args.solver!r})",
+            file=sys.stderr,
+        )
+        return 2
+
+    instance = _generate_instance(args)
+    tracer = Tracer() if args.trace is not None else None
+    solver_kwargs = {"tracer": tracer} if tracer is not None else {}
+    solver = _make_solver(args.solver, **solver_kwargs)
     if args.solver == "fastha" and not instance.is_power_of_two:
         result = solver.solve_padded(instance)
     else:
         result = solver.solve(instance)
     print(f"instance      : {instance.name} ({args.distribution})")
+    print(f"seed          : {args.seed}")
     print(f"solver        : {result.solver}")
     print(f"optimal cost  : {result.total_cost:.6g}")
     if result.device_time_s is not None:
@@ -126,6 +203,89 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"wall time     : {result.wall_time_s:.4f} s (simulation)")
     if result.iterations:
         print(f"iterations    : {result.iterations}")
+    if tracer is not None:
+        report = result.stats.get("profile")
+        path = write_json(
+            args.trace,
+            trace_to_dict(
+                tracer,
+                report,
+                meta={
+                    "instance": instance.name,
+                    "distribution": args.distribution,
+                    "size": args.size,
+                    "seed": args.seed,
+                    "solver": result.solver,
+                },
+            ),
+        )
+        print(f"trace written : {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core import HunIPUSolver
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        metrics_to_dict,
+        trace_to_dict,
+        write_json,
+    )
+
+    instance = _generate_instance(args)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    solver = HunIPUSolver(tracer=tracer, metrics=metrics)
+    result = solver.solve(instance)
+    report = result.stats["profile"]
+    summary = tracer.summary()
+
+    print(f"instance      : {instance.name} ({args.distribution}, seed={args.seed})")
+    print(f"optimal cost  : {result.total_cost:.6g}")
+    print()
+    print(report.format_table())
+    print()
+    imbalance = summary["tile_imbalance"]
+    loops = summary["loops"]
+    print("diagnostics")
+    print(f"  supersteps          : {report.supersteps}")
+    print(f"  device time         : {report.device_seconds * 1e3:.4f} ms (modeled)")
+    print(f"  exchange volume     : {report.exchange_bytes} bytes")
+    print(
+        f"  tile imbalance      : {imbalance['mean']:.3f} mean, "
+        f"{imbalance['max']:.3f} worst (max/mean cycles per superstep)"
+    )
+    print(f"  augmentations       : {result.stats['augmentations']}")
+    print(f"  slack updates       : {result.stats['slack_updates']}")
+    print(f"  primes              : {result.stats['primes']}")
+    path_loop = loops.get("path_active")
+    if path_loop:
+        print(
+            f"  augmenting paths    : mean length "
+            f"{path_loop['mean_iterations']:.1f}, max {path_loop['max_iterations']}"
+        )
+    inner_loop = loops.get("inner_cond")
+    if inner_loop:
+        print(
+            f"  step-4 search loop  : {inner_loop['entries']} entries, "
+            f"mean {inner_loop['mean_iterations']:.1f} iterations"
+        )
+    if args.json is not None:
+        document = trace_to_dict(
+            tracer,
+            report,
+            meta={
+                "instance": instance.name,
+                "distribution": args.distribution,
+                "size": args.size,
+                "seed": args.seed,
+                "solver": result.solver,
+            },
+        )
+        document["metrics"] = metrics_to_dict(metrics)["metrics"]
+        path = write_json(args.json, document)
+        print(f"\nprofile JSON written : {path}")
     return 0
 
 
@@ -137,7 +297,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_table2,
         run_table3,
     )
-    from repro.bench.recording import BenchScale
+    from repro.bench.recording import BenchScale, save_bench_json
+
+    if args.json and args.output is None:
+        print("error: --json needs --output DIR to know where to write",
+              file=sys.stderr)
+        return 2
 
     scale = BenchScale.named(args.scale)
     runners: dict[str, Callable] = {
@@ -148,7 +313,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "ablations": lambda: run_ablations(scale),
     }
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    written: list[pathlib.Path] = []
     for name in names:
+        logger.info("running experiment %s at scale %s", name, scale.name)
         result = runners[name]()
         text = result.format()
         print(text)
@@ -157,17 +324,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.output.mkdir(parents=True, exist_ok=True)
             path = args.output / f"{name}.txt"
             path.write_text(text + "\n")
-            print(f"[saved {path}]")
+            written.append(path)
+            if args.json:
+                written.append(save_bench_json(result, args.output))
+    if written:
+        print("results written to:")
+        for path in written:
+            print(f"  {path}")
+    else:
+        print("results not saved (pass --output DIR to keep them)")
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.obs.logging_setup import setup_logging
+
     args = build_parser().parse_args(argv)
+    setup_logging(
+        getattr(args, "log_level", None), verbose=getattr(args, "verbose", 0)
+    )
     if args.command == "info":
         return _cmd_info()
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "run":
         return _cmd_run(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -21,7 +21,7 @@ the terminal slack matrix is available as a dual certificate.
 
 from __future__ import annotations
 
-import time
+import logging
 from typing import Iterable, Literal
 
 import numpy as np
@@ -47,8 +47,13 @@ from repro.ipu.spec import IPUSpec
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
 from repro.lap.validation import check_perfect_matching
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.timing import wall_timer
+from repro.obs.trace import NULL_TRACER, NullTracer
 
 __all__ = ["HunIPUSolver", "CompiledInstance"]
+
+logger = logging.getLogger(__name__)
 
 #: Zero tolerance on normalized ([0, 1]) costs, per working precision.
 _TOLERANCES = {np.dtype(np.float64): 1e-11, np.dtype(np.float32): 2e-6}
@@ -149,6 +154,15 @@ class HunIPUSolver:
         Disable to model Step 4 without the matrix compression of §IV-B
         (full-row scans instead of zero-position scans); the compression
         ablation benchmark flips this.
+    tracer:
+        A :class:`repro.obs.trace.Tracer` receiving per-superstep and
+        control-flow events from every solve; defaults to the disabled
+        :data:`~repro.obs.trace.NULL_TRACER` (near-zero overhead).
+    metrics:
+        A :class:`repro.obs.metrics.MetricsRegistry` for solver metrics.
+        Compile-cache and convergence counters always land in the
+        library's default registry when none is given; per-superstep
+        engine histograms are only fed with an explicit registry.
 
     Example
     -------
@@ -170,6 +184,8 @@ class HunIPUSolver:
         *,
         col_segment_size: int | None = None,
         use_compression: bool = True,
+        tracer: NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.spec = spec if spec is not None else IPUSpec.mk2()
         self.dtype = np.dtype(dtype)
@@ -178,12 +194,20 @@ class HunIPUSolver:
         self.engine_mode: Literal["batched", "per_tile"] = engine_mode
         self.col_segment_size = col_segment_size
         self.use_compression = use_compression
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Explicit registry => per-superstep engine instruments too.
+        self._engine_metrics = metrics
+        self.metrics = metrics if metrics is not None else default_registry()
         self._compiled: dict[int, CompiledInstance] = {}
 
     def compiled_for(self, size: int) -> CompiledInstance:
         """Compile (or fetch the cached) instance for ``size``."""
         instance = self._compiled.get(size)
         if instance is None:
+            logger.info("compiling HunIPU graph for n=%d (%s)", size, self.dtype)
+            self.metrics.counter(
+                "solver.compile_cache_misses", "graphs compiled from scratch"
+            ).inc()
             instance = CompiledInstance(
                 size,
                 self.spec,
@@ -193,6 +217,10 @@ class HunIPUSolver:
                 use_compression=self.use_compression,
             )
             self._compiled[size] = instance
+        else:
+            self.metrics.counter(
+                "solver.compile_cache_hits", "solves reusing a compiled graph"
+            ).inc()
         return instance
 
     def solve(
@@ -206,26 +234,66 @@ class HunIPUSolver:
         the instance's units) is included under ``stats["final_slack"]``
         for dual-certificate checking.
         """
-        started = time.perf_counter()
-        compiled = self.compiled_for(instance.size)
-        state = compiled.state
+        with wall_timer() as timer:
+            compiled = self.compiled_for(instance.size)
+            state = compiled.state
 
-        scale = float(np.abs(instance.costs).max())
-        scale = scale if scale > 0 else 1.0
-        state.initialize_host(instance.costs / scale)
-        report = compiled.engine.run()
-        wall = time.perf_counter() - started
+            scale = float(np.abs(instance.costs).max())
+            scale = scale if scale > 0 else 1.0
+            state.initialize_host(instance.costs / scale)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "solve_start",
+                    solver=self.name,
+                    size=instance.size,
+                    instance=instance.name,
+                    dtype=str(self.dtype),
+                    engine_mode=self.engine_mode,
+                )
+            report = compiled.engine.run(
+                tracer=self.tracer, metrics=self._engine_metrics
+            )
+        wall = timer.seconds
 
         assignment = state.row_star.read_host().astype(np.int64)
         check_perfect_matching(assignment, instance.size)
         augmentations = int(state.aug_count.read_host()[0])
         updates = int(state.update_count.read_host()[0])
+        primes = int(state.prime_count.read_host()[0])
+        if self.tracer.enabled:
+            self.tracer.event(
+                "solve_end",
+                solver=self.name,
+                size=instance.size,
+                supersteps=report.supersteps,
+                augmentations=augmentations,
+                slack_updates=updates,
+                primes=primes,
+                device_seconds=report.device_seconds,
+            )
+        self.metrics.counter("solver.solves", "HunIPU solves completed").inc()
+        self.metrics.counter(
+            "solver.augmentations", "augmenting paths applied (Step 5)"
+        ).inc(augmentations)
+        self.metrics.counter(
+            "solver.slack_updates", "slack updates applied (Step 6)"
+        ).inc(updates)
+        self.metrics.counter("solver.primes", "zeros primed (Step 4)").inc(primes)
+        logger.info(
+            "solved n=%d: %d supersteps, %d augmentations, %d slack updates, "
+            "%.6f s modeled device time",
+            instance.size,
+            report.supersteps,
+            augmentations,
+            updates,
+            report.device_seconds,
+        )
         stats: dict[str, object] = {
             "supersteps": report.supersteps,
             "exchange_bytes": report.exchange_bytes,
             "augmentations": augmentations,
             "slack_updates": updates,
-            "primes": int(state.prime_count.read_host()[0]),
+            "primes": primes,
             "host_io_s": self.spec.host_io_seconds(state.slack.nbytes),
             "step_seconds": {
                 prefix: report.by_prefix(prefix)

@@ -126,6 +126,12 @@ class ExecutionPlan:
         _, compact = np.unique(keys, return_inverse=True)
         self._slot_keys = compact
         self._single_slot_per_key = len(np.unique(compact)) == len(compact)
+        # Compact tile ids the same way, for per-tile cycle statistics.
+        tiles_in_use, tile_keys = np.unique(
+            self.vertex_tiles, return_inverse=True
+        )
+        self._tile_keys = tile_keys
+        self.tiles_in_use = len(tiles_in_use)
 
     @property
     def batched(self) -> bool:
@@ -164,6 +170,23 @@ class ExecutionPlan:
             return float(vertex_cycles.max(initial=0.0))
         slot_totals = np.bincount(self._slot_keys, weights=vertex_cycles)
         return float(slot_totals.max(initial=0.0))
+
+    def tile_cycle_totals(self, vertex_cycles: np.ndarray) -> np.ndarray:
+        """Summed cycles per tile in use (for load-balance diagnostics)."""
+        return np.bincount(self._tile_keys, weights=vertex_cycles)
+
+    def tile_cycle_stats(self, vertex_cycles: np.ndarray) -> tuple[float, float, float]:
+        """``(max, mean, imbalance)`` of per-tile cycle totals.
+
+        ``imbalance`` is the max/mean ratio over the tiles this compute set
+        actually uses — the quantity the paper's C3 constraint (slowest
+        tile gates the superstep) makes worth watching.  1.0 means a
+        perfectly balanced superstep.
+        """
+        totals = self.tile_cycle_totals(vertex_cycles)
+        peak = float(totals.max(initial=0.0))
+        mean = float(totals.mean()) if len(totals) else 0.0
+        return peak, mean, (peak / mean if mean > 0 else 1.0)
 
 
 @dataclasses.dataclass

@@ -20,6 +20,7 @@ fast path.
 
 from __future__ import annotations
 
+import logging
 from typing import Literal
 
 import numpy as np
@@ -28,6 +29,8 @@ from repro.errors import ExecutionError
 from repro.ipu.compiler import CompiledGraph, ExecutionPlan, compile_graph
 from repro.ipu.graph import ComputeGraph
 from repro.ipu.profiler import ProfileReport, Profiler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.ipu.programs import (
     Copy,
     Execute,
@@ -41,6 +44,8 @@ from repro.ipu.programs import (
 from repro.ipu.tensor import Tensor
 
 __all__ = ["Engine"]
+
+logger = logging.getLogger(__name__)
 
 
 class Engine:
@@ -67,6 +72,8 @@ class Engine:
         self.compiled: CompiledGraph = compile_graph(graph, program)
         self.mode = mode
         self._profiler: Profiler | None = None
+        self._tracer: NullTracer = NULL_TRACER
+        self._metrics: MetricsRegistry | None = None
 
     # ------------------------------------------------------------------
     # Host data movement (charged as host I/O)
@@ -88,14 +95,38 @@ class Engine:
     # Running
     # ------------------------------------------------------------------
 
-    def run(self) -> ProfileReport:
-        """Execute the program once and return the cost report."""
+    def run(
+        self,
+        *,
+        tracer: NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> ProfileReport:
+        """Execute the program once and return the cost report.
+
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`) records per-superstep
+        and control-flow events; ``metrics`` receives per-superstep
+        histogram observations.  Both default to off, which costs one
+        attribute check per superstep.
+        """
         self._profiler = Profiler(self.compiled.spec)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics
+        logger.debug(
+            "engine run start: mode=%s, tracing=%s", self.mode, self._tracer.enabled
+        )
         try:
             self._run_program(self.compiled.program)
-            return self._profiler.report()
+            report = self._profiler.report()
+            logger.debug(
+                "engine run done: %d supersteps, %.6f s device time",
+                report.supersteps,
+                report.device_seconds,
+            )
+            return report
         finally:
             self._profiler = None
+            self._tracer = NULL_TRACER
+            self._metrics = None
 
     def _run_program(self, program: Program) -> None:
         if isinstance(program, Sequence):
@@ -107,6 +138,9 @@ class Engine:
             for _ in range(program.count):
                 self._run_program(program.body)
         elif isinstance(program, RepeatWhileTrue):
+            tracing = self._tracer.enabled
+            if tracing:
+                self._tracer.loop_enter(program.condition.name)
             iterations = 0
             while self._scalar_truthy(program.condition):
                 iterations += 1
@@ -115,12 +149,21 @@ class Engine:
                         f"RepeatWhileTrue on {program.condition.name!r} "
                         f"exceeded {program.max_iterations} iterations"
                     )
+                if tracing:
+                    self._tracer.loop_iter(program.condition.name, iterations)
                 self._run_program(program.body)
+            if tracing:
+                self._tracer.loop_exit(program.condition.name, iterations)
         elif isinstance(program, If):
             if self._scalar_truthy(program.condition):
+                if self._tracer.enabled:
+                    self._tracer.branch(program.condition.name, "then")
                 self._run_program(program.then_body)
-            elif program.else_body is not None:
-                self._run_program(program.else_body)
+            else:
+                if self._tracer.enabled:
+                    self._tracer.branch(program.condition.name, "else")
+                if program.else_body is not None:
+                    self._run_program(program.else_body)
         elif isinstance(program, Copy):
             self._run_copy(program)
         elif isinstance(program, Nop):
@@ -138,12 +181,24 @@ class Engine:
         spec = self.compiled.spec
         tiles_per_ipu = spec.num_tiles if spec.num_ipus > 1 else None
         total, inter = copy.exchange_bytes_split(tiles_per_ipu)
-        self._profiler.record_superstep(
-            f"copy/{copy.source.name}->{copy.destination.name}",
+        name = f"copy/{copy.source.name}->{copy.destination.name}"
+        charge = self._profiler.record_superstep(
+            name,
             compute_cycles=0.0,
             exchange_bytes=total,
             inter_ipu_bytes=inter,
         )
+        if self._tracer.enabled:
+            self._tracer.superstep(
+                name,
+                total_seconds=charge.total_seconds,
+                compute_seconds=charge.compute_seconds,
+                sync_seconds=charge.sync_seconds,
+                exchange_seconds=charge.exchange_seconds,
+                exchange_bytes=total,
+            )
+        if self._metrics is not None:
+            self._observe_superstep_metrics(name, total)
 
     # ------------------------------------------------------------------
     # Compute sets
@@ -171,12 +226,57 @@ class Engine:
         cycles += cost.vertex_overhead_cycles
         compute_cycles = plan.tile_compute_cycles(cycles, self.compiled.spec)
         assert self._profiler is not None
-        self._profiler.record_superstep(
+        charge = self._profiler.record_superstep(
             plan.compute_set.name,
             compute_cycles=compute_cycles,
             exchange_bytes=plan.exchange_bytes,
             inter_ipu_bytes=plan.inter_ipu_bytes,
         )
+        if self._tracer.enabled:
+            peak, mean, imbalance = plan.tile_cycle_stats(cycles)
+            self._tracer.superstep(
+                plan.compute_set.name,
+                total_seconds=charge.total_seconds,
+                compute_seconds=charge.compute_seconds,
+                sync_seconds=charge.sync_seconds,
+                exchange_seconds=charge.exchange_seconds,
+                exchange_bytes=plan.exchange_bytes,
+                tiles_in_use=plan.tiles_in_use,
+                max_tile_cycles=peak,
+                mean_tile_cycles=mean,
+                imbalance=imbalance,
+            )
+        if self._metrics is not None:
+            self._observe_superstep_metrics(
+                plan.compute_set.name, plan.exchange_bytes, plan, cycles
+            )
+
+    def _observe_superstep_metrics(
+        self,
+        name: str,
+        exchange_bytes: int,
+        plan: ExecutionPlan | None = None,
+        cycles: np.ndarray | None = None,
+    ) -> None:
+        """Feed the opt-in per-superstep instruments (see docs/observability.md)."""
+        assert self._metrics is not None
+        self._metrics.counter(
+            "engine.supersteps", "BSP supersteps executed"
+        ).inc()
+        self._metrics.histogram(
+            "engine.exchange_bytes", "exchange-phase bytes per superstep"
+        ).observe(exchange_bytes)
+        if plan is not None and cycles is not None:
+            _, _, imbalance = plan.tile_cycle_stats(cycles)
+            self._metrics.histogram(
+                "engine.tile_imbalance",
+                "max/mean compute cycles over tiles in use, per superstep",
+                buckets=(1.0, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0),
+            ).observe(imbalance)
+            self._metrics.histogram(
+                "engine.tile_compute_cycles",
+                "slowest-tile compute cycles per superstep",
+            ).observe(float(plan.tile_cycle_totals(cycles).max(initial=0.0)))
 
     def _run_per_vertex(self, plan: ExecutionPlan, cost) -> np.ndarray:
         """Fallback: run each vertex as its own batch of one.

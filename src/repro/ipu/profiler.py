@@ -10,10 +10,12 @@ in benchmark output.
 from __future__ import annotations
 
 import dataclasses
+import functools
+import typing
 
 from repro.ipu.spec import IPUSpec
 
-__all__ = ["StepRecord", "Profiler", "ProfileReport"]
+__all__ = ["StepRecord", "SuperstepCharge", "Profiler", "ProfileReport"]
 
 
 @dataclasses.dataclass
@@ -27,6 +29,18 @@ class StepRecord:
     exchange_seconds: float = 0.0
     exchange_bytes: int = 0
     inter_ipu_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.sync_seconds + self.exchange_seconds
+
+
+class SuperstepCharge(typing.NamedTuple):
+    """Phase costs charged for one superstep (returned for tracing)."""
+
+    compute_seconds: float
+    sync_seconds: float
+    exchange_seconds: float
 
     @property
     def total_seconds(self) -> float:
@@ -60,12 +74,25 @@ class ProfileReport:
         """Exchange bytes that crossed chip boundaries (multi-IPU)."""
         return sum(record.inter_ipu_bytes for record in self.records)
 
+    @functools.cached_property
+    def _by_name(self) -> dict[str, StepRecord]:
+        # Records is a snapshot (never mutated), so caching the index is
+        # safe; the tuple is kept as the ordered display form.
+        return {record.name: record for record in self.records}
+
     def record_named(self, name: str) -> StepRecord:
         """The record for one compute set name (KeyError if absent)."""
-        for record in self.records:
-            if record.name == name:
-                return record
-        raise KeyError(name)
+        record = self._by_name.get(name)
+        if record is None:
+            raise KeyError(name)
+        return record
+
+    def get(self, name: str, default: StepRecord | None = None) -> StepRecord | None:
+        """The record for ``name``, or ``default`` when absent."""
+        return self._by_name.get(name, default)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
 
     def by_prefix(self, prefix: str) -> float:
         """Summed seconds of every record whose name starts with ``prefix``.
@@ -117,22 +144,30 @@ class Profiler:
         compute_cycles: float,
         exchange_bytes: int,
         inter_ipu_bytes: int = 0,
-    ) -> None:
+    ) -> SuperstepCharge:
         """Charge one BSP superstep: compute + sync + exchange.
 
         ``inter_ipu_bytes`` is the subset of the exchange crossing chip
-        boundaries (charged at IPU-Link bandwidth).
+        boundaries (charged at IPU-Link bandwidth).  Returns the charged
+        phase seconds so callers (the engine) can trace the superstep
+        without recomputing the cost model.
         """
+        charge = SuperstepCharge(
+            compute_seconds=self._spec.cycles_to_seconds(compute_cycles),
+            sync_seconds=self._spec.sync_seconds(),
+            exchange_seconds=self._spec.exchange_seconds(
+                exchange_bytes, inter_ipu_bytes
+            ),
+        )
         record = self._records.setdefault(name, StepRecord(name))
         record.executions += 1
-        record.compute_seconds += self._spec.cycles_to_seconds(compute_cycles)
-        record.sync_seconds += self._spec.sync_seconds()
-        record.exchange_seconds += self._spec.exchange_seconds(
-            exchange_bytes, inter_ipu_bytes
-        )
+        record.compute_seconds += charge.compute_seconds
+        record.sync_seconds += charge.sync_seconds
+        record.exchange_seconds += charge.exchange_seconds
         record.exchange_bytes += exchange_bytes
         record.inter_ipu_bytes += inter_ipu_bytes
         self._supersteps += 1
+        return charge
 
     def record_host_io(self, num_bytes: int) -> None:
         """Charge a host<->device transfer."""

@@ -1,0 +1,68 @@
+"""Observability: tracing, metrics, timing, logging, and JSON export.
+
+The cross-cutting layer every perf PR measures against (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — structured per-iteration solver event tracing;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms registry;
+* :mod:`repro.obs.timing` — the shared wall-clock timing context manager;
+* :mod:`repro.obs.export` — schema-versioned JSON exporters + validators;
+* :mod:`repro.obs.logging_setup` — CLI logging wiring.
+"""
+
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    METRICS_SCHEMA,
+    PROFILE_SCHEMA,
+    TRACE_SCHEMA,
+    SchemaError,
+    experiment_result_to_dict,
+    metrics_to_dict,
+    profile_report_from_dict,
+    profile_report_to_dict,
+    to_jsonable,
+    trace_to_dict,
+    validate_document,
+    write_bench_record,
+    write_json,
+)
+from repro.obs.logging_setup import resolve_level, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.timing import WallTimer, wall_timer
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "WallTimer",
+    "wall_timer",
+    "setup_logging",
+    "resolve_level",
+    "SchemaError",
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "BENCH_SCHEMA",
+    "to_jsonable",
+    "trace_to_dict",
+    "metrics_to_dict",
+    "profile_report_to_dict",
+    "profile_report_from_dict",
+    "experiment_result_to_dict",
+    "write_bench_record",
+    "write_json",
+    "validate_document",
+]

@@ -1,0 +1,362 @@
+"""Schema-versioned JSON export of traces, metrics, profiles, bench runs.
+
+Four document kinds, each stamped with a ``schema`` string so downstream
+tooling can dispatch and evolve safely:
+
+==========================  ====================================================
+schema                      produced by
+==========================  ====================================================
+``repro.trace/1``           :func:`trace_to_dict` (tracer events + summary)
+``repro.metrics/1``         :func:`metrics_to_dict` (registry snapshot)
+``repro.profile/1``         :func:`profile_report_to_dict` (BSP cost report)
+``repro.bench-run/1``       :func:`experiment_result_to_dict` /
+                            :func:`write_bench_record` (``BENCH_*.json``)
+==========================  ====================================================
+
+Validation is hand-rolled (:func:`validate_document`) rather than a
+``jsonschema`` dependency: each validator checks the schema stamp and the
+structural invariants tests rely on, raising :class:`SchemaError` with a
+path-qualified message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.ipu.profiler import ProfileReport, StepRecord
+
+__all__ = [
+    "SchemaError",
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "BENCH_SCHEMA",
+    "to_jsonable",
+    "profile_report_to_dict",
+    "profile_report_from_dict",
+    "trace_to_dict",
+    "metrics_to_dict",
+    "experiment_result_to_dict",
+    "write_bench_record",
+    "write_json",
+    "validate_document",
+    "validate_trace",
+    "validate_profile",
+    "validate_metrics",
+    "validate_bench_record",
+]
+
+TRACE_SCHEMA = "repro.trace/1"
+METRICS_SCHEMA = "repro.metrics/1"
+PROFILE_SCHEMA = "repro.profile/1"
+BENCH_SCHEMA = "repro.bench-run/1"
+
+
+class SchemaError(ValueError):
+    """A document failed schema validation."""
+
+
+# ----------------------------------------------------------------------
+# JSON coercion
+# ----------------------------------------------------------------------
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-encodable Python types.
+
+    Numpy scalars/arrays become Python numbers/lists; dataclasses become
+    dicts; anything else unencodable falls back to ``repr`` (export must
+    never crash a benchmark run over an exotic ``stats`` entry).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, pathlib.Path):
+        return str(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    return repr(value)
+
+
+def write_json(path: pathlib.Path | str, document: Mapping[str, Any]) -> pathlib.Path:
+    """Serialize ``document`` (coerced via :func:`to_jsonable`) to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(document), indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# ProfileReport
+# ----------------------------------------------------------------------
+
+
+def profile_report_to_dict(report: ProfileReport) -> dict[str, Any]:
+    """``repro.profile/1`` document for one BSP cost report."""
+    return {
+        "schema": PROFILE_SCHEMA,
+        "supersteps": report.supersteps,
+        "host_io_seconds": report.host_io_seconds,
+        "device_seconds": report.device_seconds,
+        "exchange_bytes": report.exchange_bytes,
+        "inter_ipu_bytes": report.inter_ipu_bytes,
+        "records": [dataclasses.asdict(record) for record in report.records],
+    }
+
+
+def profile_report_from_dict(document: Mapping[str, Any]) -> ProfileReport:
+    """Rebuild a :class:`ProfileReport` from its exported form."""
+    validate_profile(document)
+    records = tuple(
+        StepRecord(
+            name=row["name"],
+            executions=int(row["executions"]),
+            compute_seconds=float(row["compute_seconds"]),
+            sync_seconds=float(row["sync_seconds"]),
+            exchange_seconds=float(row["exchange_seconds"]),
+            exchange_bytes=int(row["exchange_bytes"]),
+            inter_ipu_bytes=int(row["inter_ipu_bytes"]),
+        )
+        for row in document["records"]
+    )
+    return ProfileReport(
+        records=records,
+        supersteps=int(document["supersteps"]),
+        host_io_seconds=float(document["host_io_seconds"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Traces and metrics
+# ----------------------------------------------------------------------
+
+
+def trace_to_dict(
+    tracer: "Tracer",
+    report: ProfileReport | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """``repro.trace/1`` document: events + summary (+ optional profile).
+
+    Embedding the run's :class:`ProfileReport` makes the trace
+    self-validating: ``summary.supersteps`` must equal
+    ``profile.supersteps`` and per-step totals must agree with
+    ``by_prefix`` sums (the smoke test enforces both).
+    """
+    document: dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "summary": tracer.summary(),
+        "events": [event.to_dict() for event in tracer.events],
+    }
+    if report is not None:
+        document["profile"] = profile_report_to_dict(report)
+    return document
+
+
+def metrics_to_dict(registry: "MetricsRegistry") -> dict[str, Any]:
+    """``repro.metrics/1`` document for one registry snapshot."""
+    return {"schema": METRICS_SCHEMA, "metrics": registry.snapshot()}
+
+
+# ----------------------------------------------------------------------
+# Benchmark run records
+# ----------------------------------------------------------------------
+
+
+def experiment_result_to_dict(result: "ExperimentResult") -> dict[str, Any]:
+    """``repro.bench-run/1`` document for one experiment harness run."""
+    from repro.bench.recording import environment_summary
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "experiment": result.experiment,
+        "scale": result.scale,
+        "environment": environment_summary(),
+        "records": [
+            {
+                "experiment": record.experiment,
+                "solver": record.solver,
+                "params": to_jsonable(record.params),
+                "device_time_s": record.device_time_s,
+                "wall_time_s": record.wall_time_s,
+                "extra": to_jsonable(record.extra),
+            }
+            for record in result.records
+        ],
+        "shape_notes": list(result.shape_notes),
+    }
+
+
+def write_bench_record(
+    result: "ExperimentResult", directory: pathlib.Path | str
+) -> pathlib.Path:
+    """Write ``BENCH_<experiment>.json`` for ``result`` into ``directory``."""
+    directory = pathlib.Path(directory)
+    return write_json(
+        directory / f"BENCH_{result.experiment}.json",
+        experiment_result_to_dict(result),
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"{path}: {message}")
+
+
+def _require_keys(document: Mapping[str, Any], keys: tuple[str, ...], path: str) -> None:
+    _require(isinstance(document, Mapping), path, "expected an object")
+    for key in keys:
+        _require(key in document, f"{path}.{key}", "missing required key")
+
+
+def validate_profile(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.profile/1`` document."""
+    _require_keys(
+        document,
+        ("schema", "supersteps", "host_io_seconds", "device_seconds", "records"),
+        "profile",
+    )
+    _require(
+        document["schema"] == PROFILE_SCHEMA,
+        "profile.schema",
+        f"expected {PROFILE_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require(
+        isinstance(document["records"], list), "profile.records", "expected a list"
+    )
+    for index, row in enumerate(document["records"]):
+        _require_keys(
+            row,
+            (
+                "name",
+                "executions",
+                "compute_seconds",
+                "sync_seconds",
+                "exchange_seconds",
+                "exchange_bytes",
+                "inter_ipu_bytes",
+            ),
+            f"profile.records[{index}]",
+        )
+    executions = sum(int(row["executions"]) for row in document["records"])
+    _require(
+        executions == int(document["supersteps"]),
+        "profile.supersteps",
+        f"record executions sum to {executions}, "
+        f"header says {document['supersteps']}",
+    )
+
+
+def validate_trace(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.trace/1`` document."""
+    _require_keys(document, ("schema", "summary", "events"), "trace")
+    _require(
+        document["schema"] == TRACE_SCHEMA,
+        "trace.schema",
+        f"expected {TRACE_SCHEMA!r}, got {document['schema']!r}",
+    )
+    summary = document["summary"]
+    _require_keys(
+        summary,
+        ("supersteps", "step_seconds", "loops", "branches", "tile_imbalance"),
+        "trace.summary",
+    )
+    _require_keys(
+        summary["tile_imbalance"], ("mean", "max"), "trace.summary.tile_imbalance"
+    )
+    _require(isinstance(document["events"], list), "trace.events", "expected a list")
+    supersteps = 0
+    for index, event in enumerate(document["events"]):
+        _require_keys(event, ("seq", "kind"), f"trace.events[{index}]")
+        if event["kind"] == "superstep":
+            supersteps += 1
+            _require_keys(
+                event,
+                ("name", "total_seconds"),
+                f"trace.events[{index}]",
+            )
+    _require(
+        supersteps == int(summary["supersteps"]),
+        "trace.summary.supersteps",
+        f"{supersteps} superstep events, summary says {summary['supersteps']}",
+    )
+    if "profile" in document:
+        validate_profile(document["profile"])
+        _require(
+            int(document["profile"]["supersteps"]) == int(summary["supersteps"]),
+            "trace.profile.supersteps",
+            "trace and embedded profile disagree on superstep count",
+        )
+
+
+def validate_metrics(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.metrics/1`` document."""
+    _require_keys(document, ("schema", "metrics"), "metrics")
+    _require(
+        document["schema"] == METRICS_SCHEMA,
+        "metrics.schema",
+        f"expected {METRICS_SCHEMA!r}, got {document['schema']!r}",
+    )
+    for name, instrument in document["metrics"].items():
+        _require_keys(instrument, ("type",), f"metrics.{name}")
+        _require(
+            instrument["type"] in ("counter", "gauge", "histogram"),
+            f"metrics.{name}.type",
+            f"unknown instrument type {instrument['type']!r}",
+        )
+
+
+def validate_bench_record(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.bench-run/1`` document."""
+    _require_keys(
+        document, ("schema", "experiment", "scale", "records"), "bench"
+    )
+    _require(
+        document["schema"] == BENCH_SCHEMA,
+        "bench.schema",
+        f"expected {BENCH_SCHEMA!r}, got {document['schema']!r}",
+    )
+    for index, record in enumerate(document["records"]):
+        _require_keys(
+            record,
+            ("experiment", "solver", "params", "wall_time_s"),
+            f"bench.records[{index}]",
+        )
+
+
+_VALIDATORS = {
+    TRACE_SCHEMA: validate_trace,
+    METRICS_SCHEMA: validate_metrics,
+    PROFILE_SCHEMA: validate_profile,
+    BENCH_SCHEMA: validate_bench_record,
+}
+
+
+def validate_document(document: Mapping[str, Any]) -> str:
+    """Dispatch on the ``schema`` stamp; returns the schema name."""
+    _require_keys(document, ("schema",), "document")
+    schema = document["schema"]
+    validator = _VALIDATORS.get(schema)
+    _require(validator is not None, "document.schema", f"unknown schema {schema!r}")
+    validator(document)
+    return schema

@@ -1,0 +1,75 @@
+"""Logging wiring for the ``repro`` package.
+
+Library modules follow the standard recipe — ``logging.getLogger(__name__)``
+and no handlers — so embedding applications keep full control.  The CLI (and
+scripts that want the same) call :func:`setup_logging` once to attach a
+single stream handler to the ``repro`` root logger.  Calling it again just
+adjusts the level (idempotent), so tests can flip verbosity freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["setup_logging", "resolve_level"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+#: CLI-facing level names (a strict subset of the stdlib's, lowercase).
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def resolve_level(log_level: str | None, verbose: int = 0) -> int:
+    """Map CLI flags to a stdlib level.
+
+    An explicit ``--log-level`` wins; otherwise ``-v`` means INFO and
+    ``-vv`` (or more) means DEBUG; the default is WARNING.
+    """
+    if log_level is not None:
+        try:
+            return _LEVELS[log_level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {log_level!r}; pick one of {sorted(_LEVELS)}"
+            ) from None
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def setup_logging(
+    level: int | str | None = None,
+    *,
+    verbose: int = 0,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Attach (once) a stream handler to the ``repro`` logger and set level.
+
+    Returns the configured ``repro`` logger.  ``stream`` defaults to
+    ``sys.stderr`` so traces/reports on stdout stay machine-readable.
+    """
+    if isinstance(level, str) or level is None:
+        level = resolve_level(level, verbose)
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            handler.setLevel(level)
+            break
+    else:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setLevel(level)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    return logger

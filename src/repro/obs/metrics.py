@@ -1,0 +1,198 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+A tiny Prometheus-flavoured metrics layer for the simulation.  Modules
+register named instruments into a :class:`MetricsRegistry`; a registry
+snapshot is JSON-exportable via :mod:`repro.obs.export`.  The library-wide
+default registry (:func:`default_registry`) collects cheap always-on
+metrics — compile-cache hit rates, solve counts — while per-superstep
+instruments (exchange-byte histograms, tile-imbalance histograms) are only
+fed when a run is explicitly instrumented, keeping the uninstrumented hot
+path free of bookkeeping.
+
+Instruments are plain Python (no locks): the simulator is single-threaded
+per solve, and benchmark harnesses own their registries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+#: Default histogram bucket boundaries: powers of four from 1 — wide
+#: enough for byte volumes and cycle counts alike.
+_DEFAULT_BUCKETS = tuple(4.0**exponent for exponent in range(0, 16))
+
+
+@dataclasses.dataclass
+class Counter:
+    """Monotonically increasing count (events, cache hits, solves)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "help": self.help, "value": self.value}
+
+
+@dataclasses.dataclass
+class Gauge:
+    """Point-in-time value (utilization, last-run statistics)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are upper bounds; observations above the last bound land in
+    the implicit ``+Inf`` bucket.  ``bucket_counts[i]`` counts observations
+    ``<= buckets[i]`` (cumulative, Prometheus-style).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(
+            sorted(buckets if buckets is not None else _DEFAULT_BUCKETS)
+        )
+        if not self.buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self._raw_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._raw_counts[index] += 1
+                return
+        self._raw_counts[-1] += 1
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Cumulative counts per bucket bound (``+Inf`` bucket last)."""
+        cumulative = []
+        running = 0
+        for raw in self._raw_counts:
+            running += raw
+            cumulative.append(running)
+        return tuple(cumulative)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "help": self.help,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store with get-or-create registration.
+
+    Re-registering an existing name returns the existing instrument (so
+    modules can register lazily without coordination); registering the same
+    name as a different instrument type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, buckets), Histogram
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self):
+        return iter(self._instruments.items())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready view of every instrument (sorted by name)."""
+        return {
+            name: instrument.to_dict()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all instruments (tests and fresh benchmark runs)."""
+        self._instruments.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The library-wide registry for cheap always-on metrics."""
+    return _DEFAULT

@@ -1,0 +1,64 @@
+"""Shared wall-clock timing.
+
+Every solver facade needs the same two lines — ``perf_counter()`` before,
+subtraction after — to fill ``AssignmentResult.wall_time_s``.  This module
+owns that pattern once:
+
+>>> from repro.obs.timing import wall_timer
+>>> with wall_timer() as timer:
+...     _ = sum(range(10))
+>>> timer.seconds >= 0.0
+True
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallTimer", "wall_timer"]
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    ``seconds`` is live while the block runs and frozen once it exits, so
+    the timer can also be read mid-flight (progress logging).
+    """
+
+    def __init__(self) -> None:
+        self._started: float | None = None
+        self._stopped: float | None = None
+
+    def __enter__(self) -> "WallTimer":
+        self._started = time.perf_counter()
+        self._stopped = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stopped = time.perf_counter()
+
+    def start(self) -> "WallTimer":
+        """Explicit (non-``with``) start, for long straight-line blocks."""
+        return self.__enter__()
+
+    def stop(self) -> float:
+        """Explicit stop; returns the elapsed seconds."""
+        self.__exit__()
+        return self.seconds
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None and self._stopped is None
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed seconds (so far, if the block is still running)."""
+        if self._started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else time.perf_counter()
+        return end - self._started
+
+
+def wall_timer() -> WallTimer:
+    """A fresh :class:`WallTimer` (spelled as a function for readability)."""
+    return WallTimer()

@@ -73,3 +73,67 @@ class TestReportQueries:
         profiler.record_host_io(3_200_000)
         report = profiler.report()
         assert report.total_seconds > report.device_seconds
+
+
+class TestInvariants:
+    """The accounting identities the trace exporter relies on."""
+
+    def test_device_seconds_is_sum_of_record_totals(self, profiler):
+        for index in range(20):
+            profiler.record_superstep(f"step{index % 6 + 1}/x", 100 * index, index)
+        report = profiler.report()
+        assert report.device_seconds == pytest.approx(
+            sum(record.total_seconds for record in report.records)
+        )
+
+    def test_by_prefix_partitions_device_seconds(self, profiler):
+        profiler.record_superstep("step6/partial", 1000, 64)
+        profiler.record_superstep("step6/final", 2000, 0)
+        profiler.record_superstep("step4/scan", 500, 0)
+        report = profiler.report()
+        assert report.by_prefix("step6") == pytest.approx(
+            report.record_named("step6/partial").total_seconds
+            + report.record_named("step6/final").total_seconds
+        )
+        assert report.by_prefix("step6") + report.by_prefix("step4") == (
+            pytest.approx(report.device_seconds)
+        )
+
+    def test_supersteps_equal_execution_sum(self, profiler):
+        for _ in range(3):
+            profiler.record_superstep("a", 10, 0)
+        profiler.record_superstep("b", 10, 0)
+        report = profiler.report()
+        assert report.supersteps == sum(r.executions for r in report.records)
+
+    def test_record_superstep_returns_the_charge(self, profiler):
+        charge = profiler.record_superstep("a", 1325, 8000)
+        record = profiler.report().record_named("a")
+        assert charge.compute_seconds == pytest.approx(record.compute_seconds)
+        assert charge.sync_seconds == pytest.approx(record.sync_seconds)
+        assert charge.exchange_seconds == pytest.approx(record.exchange_seconds)
+        assert charge.total_seconds == pytest.approx(record.total_seconds)
+
+
+class TestNamedLookup:
+    def test_contains_and_get(self, profiler):
+        profiler.record_superstep("step1/a", 100, 0)
+        report = profiler.report()
+        assert "step1/a" in report
+        assert "ghost" not in report
+        assert report.get("step1/a").executions == 1
+        assert report.get("ghost") is None
+        sentinel = report.record_named("step1/a")
+        assert report.get("ghost", sentinel) is sentinel
+
+    def test_lookup_is_indexed_not_scanned(self, profiler):
+        # The index must be a dict keyed by name (O(1) lookups), built
+        # lazily and cached on the immutable report.
+        profiler.record_superstep("a", 1, 0)
+        profiler.record_superstep("b", 1, 0)
+        report = profiler.report()
+        report.record_named("a")
+        index = report._by_name
+        assert isinstance(index, dict)
+        assert report._by_name is index  # cached, not rebuilt
+        assert set(index) == {"a", "b"}

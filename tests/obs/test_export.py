@@ -1,0 +1,153 @@
+"""Tests for the schema-versioned JSON exporters and validators."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.recording import RunRecord, save_bench_json
+from repro.core import HunIPUSolver
+from repro.data.synthetic import gaussian_instance
+from repro.ipu.profiler import Profiler
+from repro.ipu.spec import IPUSpec
+from repro.obs import (
+    MetricsRegistry,
+    SchemaError,
+    Tracer,
+    metrics_to_dict,
+    profile_report_from_dict,
+    profile_report_to_dict,
+    to_jsonable,
+    trace_to_dict,
+    validate_document,
+    write_json,
+)
+
+
+@pytest.fixture
+def report():
+    profiler = Profiler(IPUSpec.mk2())
+    profiler.record_superstep("step1/a", 1000, 4096)
+    profiler.record_superstep("step6/b", 2000, 0)
+    profiler.record_host_io(1024)
+    return profiler.report()
+
+
+class TestJsonable:
+    def test_numpy_coercion(self):
+        value = to_jsonable(
+            {"a": np.int64(3), "b": np.float32(0.5), "c": np.arange(3)}
+        )
+        assert value == {"a": 3, "b": 0.5, "c": [0, 1, 2]}
+        json.dumps(value)  # must be encodable
+
+    def test_fallback_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable({"x": Opaque()}) == {"x": "<opaque>"}
+
+    def test_tuples_and_sets_become_lists(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert to_jsonable({3}) == [3]
+
+
+class TestProfileExport:
+    def test_round_trip(self, report):
+        document = profile_report_to_dict(report)
+        validate_document(document)
+        rebuilt = profile_report_from_dict(json.loads(json.dumps(document)))
+        assert rebuilt.supersteps == report.supersteps
+        assert rebuilt.device_seconds == pytest.approx(report.device_seconds)
+        assert rebuilt.host_io_seconds == pytest.approx(report.host_io_seconds)
+        assert rebuilt.record_named("step1/a").exchange_bytes == 4096
+        assert [r.name for r in rebuilt.records] == [r.name for r in report.records]
+
+    def test_supersteps_mismatch_rejected(self, report):
+        document = profile_report_to_dict(report)
+        document["supersteps"] = 99
+        with pytest.raises(SchemaError, match="supersteps"):
+            validate_document(document)
+
+    def test_missing_key_rejected(self, report):
+        document = profile_report_to_dict(report)
+        del document["records"][0]["compute_seconds"]
+        with pytest.raises(SchemaError, match="compute_seconds"):
+            validate_document(document)
+
+
+class TestTraceExport:
+    def test_trace_document_with_profile(self, report):
+        tracer = Tracer()
+        tracer.superstep("step1/a", total_seconds=0.1, compute_seconds=0.05)
+        tracer.superstep("step6/b", total_seconds=0.2, compute_seconds=0.1)
+        document = trace_to_dict(tracer, report, meta={"size": 8})
+        assert validate_document(document) == "repro.trace/1"
+        assert document["meta"]["size"] == 8
+        json.dumps(to_jsonable(document))
+
+    def test_superstep_count_mismatch_rejected(self, report):
+        tracer = Tracer()
+        tracer.superstep("step1/a", total_seconds=0.1)
+        document = trace_to_dict(tracer, report)
+        with pytest.raises(SchemaError, match="disagree|supersteps"):
+            validate_document(document)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(SchemaError, match="unknown schema"):
+            validate_document({"schema": "repro.trace/999"})
+
+
+class TestMetricsExport:
+    def test_snapshot_document(self):
+        registry = MetricsRegistry()
+        registry.counter("solver.solves").inc()
+        registry.histogram("h", buckets=(1, 2)).observe(1.5)
+        document = metrics_to_dict(registry)
+        assert validate_document(document) == "repro.metrics/1"
+        json.dumps(document)
+
+    def test_bad_instrument_type_rejected(self):
+        document = {"schema": "repro.metrics/1", "metrics": {"x": {"type": "meter"}}}
+        with pytest.raises(SchemaError, match="meter"):
+            validate_document(document)
+
+
+class TestBenchExport:
+    def _result(self):
+        records = (
+            RunRecord(
+                "table2",
+                "hunipu",
+                {"n": 32, "k": 100},
+                1e-3,
+                0.5,
+                extra={"supersteps": np.int64(808)},
+            ),
+        )
+        return ExperimentResult("table2", "quick", records, ("table text",))
+
+    def test_save_bench_json(self, tmp_path):
+        path = save_bench_json(self._result(), tmp_path)
+        assert path == tmp_path / "BENCH_table2.json"
+        document = json.loads(path.read_text())
+        assert validate_document(document) == "repro.bench-run/1"
+        assert document["records"][0]["extra"]["supersteps"] == 808
+        assert document["environment"]["python"]
+
+    def test_write_json_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.json"
+        write_json(target, {"schema": "x"})
+        assert json.loads(target.read_text()) == {"schema": "x"}
+
+
+class TestEndToEndDocuments:
+    def test_real_solve_trace_validates(self, tmp_path):
+        tracer = Tracer()
+        solver = HunIPUSolver(tracer=tracer)
+        result = solver.solve(gaussian_instance(16, 50, seed=2))
+        document = trace_to_dict(tracer, result.stats["profile"])
+        path = write_json(tmp_path / "trace.json", document)
+        validate_document(json.loads(path.read_text()))

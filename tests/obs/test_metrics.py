@@ -1,0 +1,114 @@
+"""Tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.core import HunIPUSolver
+from repro.data.synthetic import gaussian_instance
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets_cumulative(self):
+        histogram = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 500
+        # Cumulative: <=1, <=10, <=100, +Inf.
+        assert histogram.bucket_counts == (1, 2, 3, 4)
+        assert histogram.mean == pytest.approx(555.5 / 4)
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x")
+        first.inc()
+        assert registry.counter("x") is first
+        assert registry.counter("x").value == 1.0
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help text").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1, 2)).observe(1)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"type": "counter", "help": "help text", "value": 2.0}
+        assert snapshot["g"]["type"] == "gauge"
+        assert snapshot["h"]["bucket_counts"] == [1, 1, 1]
+
+    def test_contains_len_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert "a" in registry and len(registry) == 1
+        registry.reset()
+        assert "a" not in registry and len(registry) == 0
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestSolverMetrics:
+    def test_compile_cache_and_convergence_counters(self):
+        registry = MetricsRegistry()
+        solver = HunIPUSolver(metrics=registry)
+        instance = gaussian_instance(16, 50, seed=0)
+        solver.solve(instance)
+        solver.solve(instance)
+        assert registry.counter("solver.compile_cache_misses").value == 1.0
+        assert registry.counter("solver.compile_cache_hits").value == 1.0
+        assert registry.counter("solver.solves").value == 2.0
+        assert registry.counter("solver.augmentations").value > 0
+
+    def test_engine_histograms_fed_with_explicit_registry(self):
+        registry = MetricsRegistry()
+        solver = HunIPUSolver(metrics=registry)
+        solver.solve(gaussian_instance(16, 50, seed=0))
+        supersteps = registry.counter("engine.supersteps").value
+        assert supersteps > 0
+        exchange = registry.get("engine.exchange_bytes")
+        assert exchange is not None and exchange.count == supersteps
+        imbalance = registry.get("engine.tile_imbalance")
+        assert imbalance is not None
+        assert imbalance.min >= 1.0
+
+    def test_default_solver_skips_engine_instruments(self):
+        before = default_registry().counter("engine.supersteps").value
+        solver = HunIPUSolver()
+        solver.solve(gaussian_instance(16, 50, seed=0))
+        # Convergence counters land in the default registry, but the
+        # per-superstep engine instruments stay untouched.
+        assert default_registry().counter("engine.supersteps").value == before
+        assert default_registry().counter("solver.solves").value > 0

@@ -1,0 +1,74 @@
+"""Tests for the shared wall-clock timing helper."""
+
+import time
+
+from repro.obs.timing import WallTimer, wall_timer
+
+
+class TestWallTimer:
+    def test_context_manager_measures(self):
+        with wall_timer() as timer:
+            time.sleep(0.005)
+        assert timer.seconds >= 0.004
+        assert not timer.running
+
+    def test_frozen_after_exit(self):
+        with wall_timer() as timer:
+            pass
+        frozen = timer.seconds
+        time.sleep(0.002)
+        assert timer.seconds == frozen
+
+    def test_live_while_running(self):
+        timer = WallTimer()
+        assert timer.seconds == 0.0
+        with timer:
+            assert timer.running
+            first = timer.seconds
+            time.sleep(0.002)
+            assert timer.seconds > first
+
+    def test_explicit_start_stop(self):
+        timer = wall_timer().start()
+        assert timer.running
+        time.sleep(0.002)
+        elapsed = timer.stop()
+        assert elapsed >= 0.001
+        assert timer.seconds == elapsed
+
+    def test_reusable(self):
+        timer = WallTimer()
+        with timer:
+            time.sleep(0.003)
+        first = timer.seconds
+        with timer:
+            pass
+        assert timer.seconds < first
+
+
+class TestSolverWiring:
+    def test_all_solvers_report_wall_time(self):
+        import numpy as np
+
+        from repro.baselines import (
+            CPUHungarianSolver,
+            DateNagiSolver,
+            FastHASolver,
+            LAPJVSolver,
+            ScipySolver,
+        )
+        from repro.core import HunIPUSolver
+        from repro.lap.problem import LAPInstance
+
+        rng = np.random.default_rng(0)
+        instance = LAPInstance(rng.uniform(1, 100, size=(8, 8)))
+        for solver in (
+            HunIPUSolver(),
+            CPUHungarianSolver(),
+            FastHASolver(),
+            DateNagiSolver(),
+            LAPJVSolver(),
+            ScipySolver(),
+        ):
+            result = solver.solve(instance)
+            assert result.wall_time_s > 0.0, solver.name

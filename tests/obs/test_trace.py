@@ -1,0 +1,170 @@
+"""Tests for the structured event tracer and its solver integration."""
+
+import math
+
+import pytest
+
+from repro.core import HunIPUSolver
+from repro.data.synthetic import gaussian_instance
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracerUnit:
+    def test_events_are_sequenced(self):
+        tracer = Tracer()
+        tracer.event("solve_start", size=4)
+        tracer.superstep("step1/x", total_seconds=1.0, compute_seconds=0.5)
+        tracer.event("solve_end")
+        assert [event.seq for event in tracer.events] == [0, 1, 2]
+        assert [event.kind for event in tracer.events] == [
+            "solve_start", "superstep", "solve_end",
+        ]
+
+    def test_loop_depth_tracking(self):
+        tracer = Tracer()
+        tracer.loop_enter("outer")
+        tracer.loop_enter("inner")
+        tracer.loop_exit("inner", iterations=3)
+        tracer.loop_exit("outer", iterations=1)
+        assert tracer.max_loop_depth == 2
+        stats = tracer.loop_stats()
+        assert stats["inner"]["iterations"] == 3
+        assert stats["inner"]["entries"] == 1
+        assert stats["outer"]["mean_iterations"] == 1.0
+
+    def test_loop_iters_dropped_by_default(self):
+        tracer = Tracer()
+        tracer.loop_enter("c")
+        tracer.loop_iter("c", 1)
+        tracer.loop_exit("c", 1)
+        assert not tracer.events_of("loop_iter")
+        keeper = Tracer(keep_loop_iters=True)
+        keeper.loop_enter("c")
+        keeper.loop_iter("c", 1)
+        keeper.loop_exit("c", 1)
+        assert len(keeper.events_of("loop_iter")) == 1
+
+    def test_branch_stats(self):
+        tracer = Tracer()
+        tracer.branch("flag", "then")
+        tracer.branch("flag", "else")
+        tracer.branch("flag", "else")
+        assert tracer.branch_stats() == {"flag": {"then": 1, "else": 2}}
+
+    def test_step_seconds_groups_by_prefix(self):
+        tracer = Tracer()
+        tracer.superstep("step4/scan", total_seconds=1.0)
+        tracer.superstep("step4/final", total_seconds=2.0)
+        tracer.superstep("step6/update", total_seconds=4.0)
+        totals = tracer.step_seconds()
+        assert totals["step4"] == pytest.approx(3.0)
+        assert totals["step6"] == pytest.approx(4.0)
+        assert totals["step1"] == 0.0
+
+    def test_tile_imbalance_weighted_by_compute(self):
+        tracer = Tracer()
+        tracer.superstep(
+            "a", total_seconds=1.0, compute_seconds=3.0, imbalance=2.0
+        )
+        tracer.superstep(
+            "b", total_seconds=1.0, compute_seconds=1.0, imbalance=1.0
+        )
+        aggregate = tracer.tile_imbalance()
+        assert aggregate["mean"] == pytest.approx((2.0 * 3 + 1.0 * 1) / 4)
+        assert aggregate["max"] == 2.0
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        # Every hook must be callable and side-effect free.
+        NULL_TRACER.superstep("x", total_seconds=1.0)
+        NULL_TRACER.loop_enter("c")
+        NULL_TRACER.loop_iter("c", 1)
+        NULL_TRACER.loop_exit("c", 1)
+        NULL_TRACER.branch("c", "then")
+        NULL_TRACER.event("anything")
+        assert not hasattr(NULL_TRACER, "events")
+
+    def test_tracer_is_a_null_tracer_subtype(self):
+        # Engine call sites type against NullTracer; a recording tracer
+        # must be substitutable.
+        assert isinstance(Tracer(), NullTracer)
+
+
+@pytest.fixture(scope="module")
+def traced_solve():
+    tracer = Tracer()
+    solver = HunIPUSolver(tracer=tracer)
+    result = solver.solve(gaussian_instance(24, 50, seed=3))
+    return tracer, result
+
+
+class TestSolverIntegration:
+    def test_superstep_count_matches_profile(self, traced_solve):
+        tracer, result = traced_solve
+        report = result.stats["profile"]
+        assert tracer.superstep_count() == report.supersteps
+
+    def test_step_seconds_match_by_prefix(self, traced_solve):
+        tracer, result = traced_solve
+        report = result.stats["profile"]
+        totals = tracer.step_seconds()
+        for prefix in ("step1", "step2", "step3", "step4", "step5", "step6",
+                       "compress"):
+            assert math.isclose(
+                totals[prefix], report.by_prefix(prefix), rel_tol=1e-9
+            ), prefix
+
+    def test_solve_lifecycle_events(self, traced_solve):
+        tracer, result = traced_solve
+        starts = tracer.events_of("solve_start")
+        ends = tracer.events_of("solve_end")
+        assert len(starts) == len(ends) == 1
+        assert starts[0].data["size"] == 24
+        assert ends[0].data["supersteps"] == result.stats["supersteps"]
+        assert ends[0].data["augmentations"] == result.stats["augmentations"]
+
+    def test_loop_stats_cover_solver_control_flow(self, traced_solve):
+        tracer, _ = traced_solve
+        loops = tracer.loop_stats()
+        # The outer cover loop runs once; the Step-5 path-trace loop runs
+        # once per augmentation, and its iteration counts are the
+        # augmenting-path lengths.
+        assert loops["not_done"]["entries"] == 1
+        assert "inner_cond" in loops
+        assert "path_active" in loops
+
+    def test_path_lengths_match_augmentations(self, traced_solve):
+        tracer, result = traced_solve
+        loops = tracer.loop_stats()
+        assert loops["path_active"]["entries"] == result.stats["augmentations"]
+
+    def test_branch_outcomes_match_step_counters(self, traced_solve):
+        tracer, result = traced_solve
+        branches = tracer.branch_stats()
+        # Inner-loop dispatch: flag_update then-branch = slack updates,
+        # flag_aug then-branch = augmentations (Step 4 status outcomes).
+        assert branches["flag_update"]["then"] == result.stats["slack_updates"]
+        assert branches["flag_aug"]["then"] == result.stats["augmentations"]
+
+    def test_imbalance_present_and_sane(self, traced_solve):
+        tracer, _ = traced_solve
+        aggregate = tracer.tile_imbalance()
+        assert aggregate["mean"] >= 1.0
+        assert aggregate["max"] >= aggregate["mean"]
+
+    def test_nesting_depth_reflects_program_tree(self, traced_solve):
+        tracer, _ = traced_solve
+        # main loop -> inner loop -> (step5's path loops) = at least 3.
+        assert tracer.max_loop_depth >= 3
+
+    def test_disabled_tracer_records_nothing(self):
+        solver = HunIPUSolver()
+        assert solver.tracer is NULL_TRACER
+        result = solver.solve(gaussian_instance(16, 50, seed=1))
+        assert result.stats["supersteps"] > 0
+
+    def test_summary_is_self_consistent(self, traced_solve):
+        tracer, _ = traced_solve
+        summary = tracer.summary()
+        assert summary["supersteps"] == tracer.superstep_count()
+        assert summary["events"] == len(tracer.events)

@@ -1,0 +1,132 @@
+"""End-to-end smoke tests for the observability surface.
+
+Runs the real CLI (``repro solve --trace``, ``repro profile --json``,
+``repro run --json``) on small instances and validates every emitted JSON
+document against its schema, so trace output can never silently rot.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_document
+from repro.obs.export import SchemaError
+
+
+class TestSolveTrace:
+    @pytest.fixture(scope="class")
+    def trace_document(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "trace.json"
+        assert main(
+            ["solve", "--size", "24", "--k", "50", "--seed", "7",
+             "--trace", str(path)]
+        ) == 0
+        return json.loads(path.read_text())
+
+    def test_schema_validates(self, trace_document):
+        assert validate_document(trace_document) == "repro.trace/1"
+
+    def test_meta_round_trips_cli_args(self, trace_document):
+        meta = trace_document["meta"]
+        assert meta["size"] == 24
+        assert meta["seed"] == 7
+        assert meta["solver"] == "hunipu"
+
+    def test_superstep_count_matches_embedded_profile(self, trace_document):
+        summary = trace_document["summary"]
+        profile = trace_document["profile"]
+        assert summary["supersteps"] == profile["supersteps"]
+
+    def test_step_totals_match_profile_records(self, trace_document):
+        # summary.step_seconds must agree with by_prefix sums over the
+        # embedded profile records (the acceptance criterion).
+        profile_totals = {}
+        for record in trace_document["profile"]["records"]:
+            total = (
+                record["compute_seconds"]
+                + record["sync_seconds"]
+                + record["exchange_seconds"]
+            )
+            for prefix in trace_document["summary"]["step_seconds"]:
+                if record["name"].startswith(prefix):
+                    profile_totals[prefix] = profile_totals.get(prefix, 0.0) + total
+                    break
+        for prefix, traced in trace_document["summary"]["step_seconds"].items():
+            assert math.isclose(
+                traced, profile_totals.get(prefix, 0.0),
+                rel_tol=1e-9, abs_tol=1e-15,
+            ), prefix
+
+    def test_imbalance_ratio_present(self, trace_document):
+        imbalance = trace_document["summary"]["tile_imbalance"]
+        assert imbalance["mean"] >= 1.0
+        assert imbalance["max"] >= imbalance["mean"]
+
+    def test_tampered_document_fails_validation(self, trace_document):
+        broken = json.loads(json.dumps(trace_document))
+        broken["summary"]["supersteps"] += 1
+        with pytest.raises(SchemaError):
+            validate_document(broken)
+
+
+class TestSolveFlags:
+    def test_seed_echoed(self, capsys):
+        assert main(["solve", "--size", "12", "--seed", "42"]) == 0
+        assert "seed          : 42" in capsys.readouterr().out
+
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["solve", "--size", "12", "-v"]) == 0
+        assert main(["solve", "--size", "12", "--log-level", "debug"]) == 0
+        # Reset CLI logging so later tests aren't chatty.
+        from repro.obs.logging_setup import setup_logging
+
+        setup_logging("warning")
+
+    def test_trace_requires_hunipu(self, tmp_path, capsys):
+        code = main(
+            ["solve", "--size", "12", "--solver", "scipy",
+             "--trace", str(tmp_path / "t.json")]
+        )
+        assert code == 2
+        assert "hunipu" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_prints_table_and_diagnostics(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(
+            ["profile", "--size", "16", "--k", "10", "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compute set" in out  # the per-step BSP table header
+        assert "tile imbalance" in out
+        assert "augmenting paths" in out
+        document = json.loads(path.read_text())
+        assert validate_document(document) == "repro.trace/1"
+        assert "solver.solves" in document["metrics"]
+
+
+class TestRunRecords:
+    def test_bench_json_written_and_valid(self, capsys, tmp_path):
+        assert main(
+            ["run", "table1", "--scale", "quick",
+             "--output", str(tmp_path), "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "results written to:" in out
+        assert str(tmp_path / "table1.txt") in out
+        bench_path = tmp_path / "BENCH_table1.json"
+        assert str(bench_path) in out
+        document = json.loads(bench_path.read_text())
+        assert validate_document(document) == "repro.bench-run/1"
+        assert document["records"], "run records must not be empty"
+
+    def test_json_without_output_rejected(self, capsys):
+        assert main(["run", "table1", "--scale", "quick", "--json"]) == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_unsaved_run_says_so(self, capsys):
+        assert main(["run", "table1", "--scale", "quick"]) == 0
+        assert "results not saved" in capsys.readouterr().out
