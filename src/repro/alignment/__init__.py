@@ -7,6 +7,7 @@ from repro.alignment.pipeline import (
     AlignmentResult,
     LSAPSolver,
     align,
+    align_many,
     align_noisy_copy,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "AlignmentResult",
     "LSAPSolver",
     "align",
+    "align_many",
     "align_noisy_copy",
 ]

@@ -64,7 +64,6 @@ def grampa_similarity(
         raise InvalidProblemError("adjacency matrices must be square")
     if not np.allclose(first, first.T) or not np.allclose(second, second.T):
         raise InvalidProblemError("GRAMPA requires symmetric adjacency matrices")
-    n = first.shape[0]
     lam, u = np.linalg.eigh(first)
     mu, v = np.linalg.eigh(second)
     weights = 1.0 / (np.subtract.outer(lam, mu) ** 2 + eta * eta)

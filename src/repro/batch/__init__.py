@@ -1,0 +1,24 @@
+"""Batched multi-instance solving (see docs/batching.md).
+
+:class:`BatchSolver` amortizes per-instance overhead across a stream of LAP
+instances: grouping by compiled shape, padding stragglers onto shared
+binaries when profitable, staging normalized uploads in bulk, and flushing
+metrics once per batch.  :func:`load_batch_file` reads instance batches
+from ``.npy`` / ``.npz`` / ``.json`` files for ``repro solve --batch``.
+"""
+
+from repro.batch.io import load_batch_file
+from repro.batch.solver import (
+    BatchResult,
+    BatchSolver,
+    GroupReport,
+    pad_instance_costs,
+)
+
+__all__ = [
+    "BatchResult",
+    "BatchSolver",
+    "GroupReport",
+    "load_batch_file",
+    "pad_instance_costs",
+]

@@ -1,0 +1,109 @@
+"""Loading batches of LAP instances from files (the CLI's ``--batch``).
+
+Three formats, chosen by suffix:
+
+``.npy``
+    A single ``(n, n)`` matrix, or a ``(k, n, n)`` stack of k instances.
+``.npz``
+    One square matrix per archive entry; entries are loaded in sorted key
+    order and keep their keys as instance names.
+``.json``
+    Either a bare list of matrices (lists of lists), or an object
+    ``{"instances": [...]}`` whose entries are matrices or
+    ``{"name": ..., "costs": ...}`` objects.
+
+Every matrix must be square — batch files describe device-shaped problems;
+rectangular inputs should go through
+:meth:`~repro.lap.problem.LAPInstance.from_rectangular` (or
+:func:`~repro.lap.rectangular.solve_rectangular`) first, where the padding
+policy is explicit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.lap.problem import LAPInstance
+
+__all__ = ["load_batch_file"]
+
+
+def _instance(matrix: np.ndarray, name: str) -> LAPInstance:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InvalidProblemError(
+            f"batch entry {name!r} has shape {matrix.shape}; batch files "
+            "must contain square cost matrices (pad rectangular problems "
+            "via LAPInstance.from_rectangular first)"
+        )
+    return LAPInstance(matrix, name=name)
+
+
+def _load_npy(path: Path) -> list[LAPInstance]:
+    data = np.load(path)
+    if data.ndim == 2:
+        return [_instance(data, path.stem)]
+    if data.ndim == 3:
+        return [
+            _instance(data[index], f"{path.stem}[{index}]")
+            for index in range(data.shape[0])
+        ]
+    raise InvalidProblemError(
+        f"{path}: expected a (n, n) matrix or (k, n, n) stack, "
+        f"got ndim={data.ndim}"
+    )
+
+
+def _load_npz(path: Path) -> list[LAPInstance]:
+    with np.load(path) as archive:
+        return [_instance(archive[key], key) for key in sorted(archive.files)]
+
+
+def _load_json(path: Path) -> list[LAPInstance]:
+    payload = json.loads(path.read_text())
+    if isinstance(payload, dict):
+        payload = payload.get("instances")
+        if payload is None:
+            raise InvalidProblemError(
+                f"{path}: JSON object form needs an 'instances' key"
+            )
+    if not isinstance(payload, list):
+        raise InvalidProblemError(
+            f"{path}: expected a list of matrices or an 'instances' object"
+        )
+    instances = []
+    for index, entry in enumerate(payload):
+        if isinstance(entry, dict):
+            if "costs" not in entry:
+                raise InvalidProblemError(
+                    f"{path}: instances[{index}] is missing 'costs'"
+                )
+            name = str(entry.get("name", f"{path.stem}[{index}]"))
+            instances.append(_instance(np.asarray(entry["costs"]), name))
+        else:
+            instances.append(
+                _instance(np.asarray(entry), f"{path.stem}[{index}]")
+            )
+    return instances
+
+
+def load_batch_file(path: str | Path) -> list[LAPInstance]:
+    """Load every instance from a ``.npy`` / ``.npz`` / ``.json`` batch file."""
+    path = Path(path)
+    if not path.exists():
+        raise InvalidProblemError(f"batch file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        return _load_npy(path)
+    if suffix == ".npz":
+        return _load_npz(path)
+    if suffix == ".json":
+        return _load_json(path)
+    raise InvalidProblemError(
+        f"unsupported batch file suffix {suffix!r} for {path}; "
+        "expected .npy, .npz, or .json"
+    )

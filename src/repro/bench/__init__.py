@@ -1,6 +1,7 @@
 """Experiment harnesses: one module per paper table/figure + ablations."""
 
 from repro.bench.ablations import run_ablations
+from repro.bench.batch import run_batch_bench
 from repro.bench.figure5 import run_figure5
 from repro.bench.harness import ExperimentResult, format_grid, format_records
 from repro.bench.recording import (
@@ -15,6 +16,7 @@ from repro.bench.table3 import run_table3
 
 __all__ = [
     "run_ablations",
+    "run_batch_bench",
     "run_figure5",
     "ExperimentResult",
     "format_grid",

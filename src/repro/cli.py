@@ -5,7 +5,9 @@ Four commands cover the common workflows without writing any code:
 * ``info`` — the simulated device specs and library version;
 * ``solve`` — solve one synthetic instance with any solver and print the
   result + modeled device time; ``--trace out.json`` writes a
-  schema-versioned event trace (HunIPU only);
+  schema-versioned event trace (HunIPU only); ``--batch FILE`` solves a
+  whole stream of instances (``.npy`` / ``.npz`` / ``.json``) through
+  :class:`repro.batch.BatchSolver` and prints per-group statistics;
 * ``profile`` — solve one instance on HunIPU with full instrumentation and
   print the per-step BSP table plus imbalance/convergence diagnostics;
 * ``run`` — regenerate one (or all) of the paper's tables/figures at a
@@ -30,7 +32,7 @@ __all__ = ["main", "build_parser"]
 
 logger = logging.getLogger(__name__)
 
-_EXPERIMENTS = ("table1", "table2", "figure5", "table3", "ablations")
+_EXPERIMENTS = ("table1", "table2", "figure5", "table3", "ablations", "batch")
 _SOLVERS = ("hunipu", "cpu", "fastha", "date-nagi", "lapjv", "scipy")
 _LOG_LEVELS = ("debug", "info", "warning", "error")
 
@@ -82,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="OUT.json",
         help="write a structured event trace (hunipu solver only)",
+    )
+    solve.add_argument(
+        "--batch",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="solve a stream of instances from FILE (.npy/.npz/.json) "
+        "through the batch engine instead of one synthetic instance",
     )
     _add_logging_args(solve)
 
@@ -175,9 +185,43 @@ def _generate_instance(args: argparse.Namespace):
     return generate(args.size, args.k, seed=args.seed)
 
 
+def _cmd_solve_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchSolver, load_batch_file
+
+    instances = load_batch_file(args.batch)
+    solver = _make_solver(args.solver)
+    batch = BatchSolver(solver).solve_batch(instances)
+    print(f"batch file    : {args.batch}")
+    print(f"solver        : {args.solver}")
+    print(f"instances     : {batch.instances} in {len(batch.groups)} group(s)")
+    for group in batch.groups:
+        cache = "cache hit" if group.compile_cache_hit else "compiled"
+        print(
+            f"  group n={group.size:<5d}: {group.instances} instance(s), "
+            f"{group.padded} padded, {cache}, "
+            f"run {group.run_seconds:.4f} s"
+        )
+    for instance, result in zip(instances, batch.results):
+        print(f"  {instance.name}: cost {result.total_cost:.6g}")
+    if batch.device_seconds > 0:
+        print(f"device time   : {batch.device_seconds * 1e3:.4f} ms (modeled)")
+    print(f"wall time     : {batch.wall_seconds:.4f} s (simulation)")
+    print(f"throughput    : {batch.instances_per_second:.1f} instances/s")
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.obs import Tracer, trace_to_dict, write_json
 
+    if args.batch is not None:
+        if args.trace is not None:
+            print(
+                "error: --trace records a single solve and cannot be "
+                "combined with --batch",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_solve_batch(args)
     if args.trace is not None and args.solver != "hunipu":
         print(
             f"error: --trace instruments the simulated IPU and needs "
@@ -292,6 +336,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.bench import (
         run_ablations,
+        run_batch_bench,
         run_figure5,
         run_table1,
         run_table2,
@@ -311,6 +356,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "figure5": lambda: run_figure5(scale, distribution=args.distribution),
         "table3": lambda: run_table3(scale),
         "ablations": lambda: run_ablations(scale),
+        "batch": lambda: run_batch_bench(scale),
     }
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     written: list[pathlib.Path] = []

@@ -13,10 +13,12 @@ program::
             max status  1 → Step 5 (augment), back to Step 3
             max status  0 → prime, cover row, uncover star column
 
-Costs are normalized to [0, 1] on the host before upload so the zero
-tolerance is a compile-time constant (the assignment is invariant under
-positive scaling); results are certified by a perfect-matching check, and
-the terminal slack matrix is available as a dual certificate.
+Costs are normalized to [0, 1] on the host before upload — shifted by the
+matrix minimum, then scaled by the spread (the assignment is invariant under
+positive affine maps) — so the zero tolerance is a compile-time constant
+that holds for negative-cost and large-offset instances alike; results are
+certified by a perfect-matching check, and the terminal slack matrix is
+available as a dual certificate.
 """
 
 from __future__ import annotations
@@ -51,12 +53,34 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.timing import wall_timer
 from repro.obs.trace import NULL_TRACER, NullTracer
 
-__all__ = ["HunIPUSolver", "CompiledInstance"]
+__all__ = ["HunIPUSolver", "CompiledInstance", "normalize_costs"]
 
 logger = logging.getLogger(__name__)
 
 #: Zero tolerance on normalized ([0, 1]) costs, per working precision.
+#: :func:`normalize_costs` guarantees the uploaded matrix really lives in
+#: [0, 1] (shift-then-scale), so these constants hold regardless of the
+#: instance's sign or magnitude.
 _TOLERANCES = {np.dtype(np.float64): 1e-11, np.dtype(np.float32): 2e-6}
+
+
+def normalize_costs(costs: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Affine-map ``costs`` onto [0, 1]: subtract the min, divide by the spread.
+
+    Returns ``(normalized, shift, scale)`` with
+    ``costs == normalized * scale + shift`` (up to rounding).  Scaling by
+    ``abs(costs).max()`` alone — the previous scheme — lands negative-cost
+    instances in [-1, 1] and collapses large-offset instances (for example
+    ``-1e12 + small``) to a sliver around ±1, both of which break the
+    compile-time zero tolerance; the shift keeps the spread, which is all
+    the assignment depends on, at full precision.  Constant matrices map to
+    all zeros with ``scale == 1``.
+    """
+    shift = float(costs.min())
+    scale = float(costs.max()) - shift
+    if not scale > 0:
+        scale = 1.0
+    return (costs - shift) / scale, shift, scale
 
 
 class CompiledInstance:
@@ -236,25 +260,85 @@ class HunIPUSolver:
         """
         with wall_timer() as timer:
             compiled = self.compiled_for(instance.size)
-            state = compiled.state
+            normalized, _, scale = normalize_costs(instance.costs)
+            compiled.state.initialize_host(normalized)
+            report = self._run_engine(compiled, instance)
+        result = self._build_result(
+            compiled,
+            instance,
+            report,
+            scale,
+            timer.seconds,
+            return_slack=return_slack,
+        )
+        stats = result.stats
+        self.metrics.counter("solver.solves", "HunIPU solves completed").inc()
+        self.metrics.counter(
+            "solver.augmentations", "augmenting paths applied (Step 5)"
+        ).inc(stats["augmentations"])
+        self.metrics.counter(
+            "solver.slack_updates", "slack updates applied (Step 6)"
+        ).inc(stats["slack_updates"])
+        self.metrics.counter("solver.primes", "zeros primed (Step 4)").inc(
+            stats["primes"]
+        )
+        logger.info(
+            "solved n=%d: %d supersteps, %d augmentations, %d slack updates, "
+            "%.6f s modeled device time",
+            instance.size,
+            report.supersteps,
+            stats["augmentations"],
+            stats["slack_updates"],
+            report.device_seconds,
+        )
+        return result
 
-            scale = float(np.abs(instance.costs).max())
-            scale = scale if scale > 0 else 1.0
-            state.initialize_host(instance.costs / scale)
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "solve_start",
-                    solver=self.name,
-                    size=instance.size,
-                    instance=instance.name,
-                    dtype=str(self.dtype),
-                    engine_mode=self.engine_mode,
-                )
-            report = compiled.engine.run(
-                tracer=self.tracer, metrics=self._engine_metrics
+    def _run_engine(
+        self,
+        compiled: CompiledInstance,
+        instance: LAPInstance,
+        *,
+        profile_detail: bool = True,
+    ):
+        """Run the compiled program once (state must already be loaded).
+
+        ``profile_detail=False`` requests aggregate-only profiling (see
+        :meth:`repro.ipu.engine.Engine.run`) — the batch path's throughput
+        mode; tracing still forces a detailed run.
+        """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "solve_start",
+                solver=self.name,
+                size=instance.size,
+                instance=instance.name,
+                dtype=str(self.dtype),
+                engine_mode=self.engine_mode,
             )
-        wall = timer.seconds
+        return compiled.engine.run(
+            tracer=self.tracer,
+            metrics=self._engine_metrics,
+            profile_detail=profile_detail,
+        )
 
+    def _build_result(
+        self,
+        compiled: CompiledInstance,
+        instance: LAPInstance,
+        report,
+        scale: float,
+        wall: float,
+        *,
+        return_slack: bool = False,
+        detailed_stats: bool = True,
+    ) -> AssignmentResult:
+        """Read back device state and package an :class:`AssignmentResult`.
+
+        ``detailed_stats=False`` skips the per-step time breakdown (seven
+        scans over the superstep records) — the batch path uses it to keep
+        per-instance post-processing cheap.
+        """
+        state = compiled.state
         assignment = state.row_star.read_host().astype(np.int64)
         check_perfect_matching(assignment, instance.size)
         augmentations = int(state.aug_count.read_host()[0])
@@ -271,23 +355,6 @@ class HunIPUSolver:
                 primes=primes,
                 device_seconds=report.device_seconds,
             )
-        self.metrics.counter("solver.solves", "HunIPU solves completed").inc()
-        self.metrics.counter(
-            "solver.augmentations", "augmenting paths applied (Step 5)"
-        ).inc(augmentations)
-        self.metrics.counter(
-            "solver.slack_updates", "slack updates applied (Step 6)"
-        ).inc(updates)
-        self.metrics.counter("solver.primes", "zeros primed (Step 4)").inc(primes)
-        logger.info(
-            "solved n=%d: %d supersteps, %d augmentations, %d slack updates, "
-            "%.6f s modeled device time",
-            instance.size,
-            report.supersteps,
-            augmentations,
-            updates,
-            report.device_seconds,
-        )
         stats: dict[str, object] = {
             "supersteps": report.supersteps,
             "exchange_bytes": report.exchange_bytes,
@@ -295,7 +362,10 @@ class HunIPUSolver:
             "slack_updates": updates,
             "primes": primes,
             "host_io_s": self.spec.host_io_seconds(state.slack.nbytes),
-            "step_seconds": {
+            "profile": report,
+        }
+        if detailed_stats:
+            stats["step_seconds"] = {
                 prefix: report.by_prefix(prefix)
                 for prefix in (
                     "step1",
@@ -306,9 +376,7 @@ class HunIPUSolver:
                     "step5",
                     "step6",
                 )
-            },
-            "profile": report,
-        }
+            }
         if return_slack:
             stats["final_slack"] = state.slack.read_host().astype(np.float64) * scale
         return AssignmentResult(
@@ -332,5 +400,10 @@ class HunIPUSolver:
         with new data, which is exactly what this models: the first
         instance of each size pays graph construction, the rest only pay
         execution.
+
+        This is the simple sequential reference path; for high-throughput
+        streams use :class:`repro.batch.BatchSolver`, which groups by
+        compiled shape, stages uploads in bulk, and amortizes per-instance
+        host overhead.
         """
         return [self.solve(instance) for instance in instances]

@@ -173,22 +173,41 @@ class SolverState:
         Resetting everything (not just what Step 1 overwrites) is what makes
         a compiled instance reusable across solves of the same size.
         """
-        self.slack.write_host(costs.astype(self.dtype))
-        self.compress.write_host(-1)
-        self.zero_count.write_host(0)
-        self.row_zeros.write_host(0)
-        self.row_star.write_host(-1)
-        self.row_prime.write_host(-1)
-        self.row_cover.write_host(0)
-        self.zero_status.write_host(0)
-        self.zero_col.write_host(-1)
-        self.col_star.write_host(-1)
-        self.col_cover.write_host(0)
-        self.green_rows.write_host(-1)
-        self.green_cols.write_host(-1)
-        self.path_state.write_host(0)
-        self.aug_sel.write_host(0)
-        self.sel.write_host(0)
+        self.load_costs(costs)
+        self.reset()
+
+    def load_costs(self, costs: np.ndarray) -> None:
+        """Upload a cost/slack matrix into the device slack buffer.
+
+        Copies straight into the tensor's element buffer (no intermediate
+        ``astype`` array), so a batch driver can stage many normalized
+        matrices in one host array and stream them in without per-solve
+        allocations.
+        """
+        np.copyto(self.slack.data, costs, casting="same_kind")
+
+    def reset(self) -> None:
+        """Reset every non-slack tensor to its pre-Step-1 value.
+
+        Constant fills on the existing element buffers — no allocation, no
+        shape checks — which is what makes back-to-back solves on one
+        compiled instance cheap (the batch path calls this once per solve).
+        """
+        self.compress.data.fill(-1)
+        self.zero_count.data.fill(0)
+        self.row_zeros.data.fill(0)
+        self.row_star.data.fill(-1)
+        self.row_prime.data.fill(-1)
+        self.row_cover.data.fill(0)
+        self.zero_status.data.fill(0)
+        self.zero_col.data.fill(-1)
+        self.col_star.data.fill(-1)
+        self.col_cover.data.fill(0)
+        self.green_rows.data.fill(-1)
+        self.green_cols.data.fill(-1)
+        self.path_state.data.fill(0)
+        self.aug_sel.data.fill(0)
+        self.sel.data.fill(0)
         for scalar in (
             self.tau,
             self.step2_iter,
@@ -205,6 +224,6 @@ class SolverState:
             self.update_count,
             self.prime_count,
         ):
-            scalar.write_host(0)
-        self.delta.write_host(0)
-        self.not_done.write_host(1)
+            scalar.data.fill(0)
+        self.delta.data.fill(0)
+        self.not_done.data.fill(1)

@@ -71,6 +71,12 @@ class Engine:
             raise ExecutionError(f"unknown engine mode {mode!r}")
         self.compiled: CompiledGraph = compile_graph(graph, program)
         self.mode = mode
+        #: Profilers reused (via reset) across runs, so repeated solves on
+        #: a compiled graph pay no per-run construction; ``_profiler`` is only
+        #: non-None while a run is in flight.  The lite profiler serves
+        #: ``profile_detail=False`` runs (aggregate totals only).
+        self._owned_profiler = Profiler(self.compiled.spec)
+        self._lite_profiler = Profiler(self.compiled.spec, detailed=False)
         self._profiler: Profiler | None = None
         self._tracer: NullTracer = NULL_TRACER
         self._metrics: MetricsRegistry | None = None
@@ -100,6 +106,7 @@ class Engine:
         *,
         tracer: NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        profile_detail: bool = True,
     ) -> ProfileReport:
         """Execute the program once and return the cost report.
 
@@ -107,10 +114,21 @@ class Engine:
         and control-flow events; ``metrics`` receives per-superstep
         histogram observations.  Both default to off, which costs one
         attribute check per superstep.
+
+        ``profile_detail=False`` runs with aggregate-only profiling: the
+        report keeps the run's total device time and byte volume but has no
+        per-compute-set attribution, in exchange for lower per-superstep
+        bookkeeping (the batch path's throughput mode).  Tracing or
+        per-superstep metrics force a detailed profiler, since both consume
+        the per-superstep charges.
         """
-        self._profiler = Profiler(self.compiled.spec)
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics
+        if profile_detail or self._tracer.enabled or metrics is not None:
+            self._profiler = self._owned_profiler
+        else:
+            self._profiler = self._lite_profiler
+        self._profiler.reset()
         logger.debug(
             "engine run start: mode=%s, tracing=%s", self.mode, self._tracer.enabled
         )

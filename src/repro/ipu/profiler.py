@@ -130,13 +130,50 @@ class ProfileReport:
 
 
 class Profiler:
-    """Mutable accumulator used by the engine during a run."""
+    """Mutable accumulator used by the engine during a run.
 
-    def __init__(self, spec: IPUSpec) -> None:
+    ``detailed=False`` switches to aggregate-only accounting: per-name
+    records are skipped (the whole run collapses into one synthetic
+    ``all/aggregate`` record at :meth:`report` time) and the compute/sync
+    conversion is deferred — compute cycles accumulate raw and convert
+    once, the constant sync charge is multiplied by the superstep count.
+    The exchange phase is still priced per superstep because its cost
+    model is not linear (overlapping transfers + a setup constant that
+    vanishes for empty exchanges).  This is the throughput-batch mode:
+    the total device time keeps the same cost model (summation order
+    differs, so the last bits of the float total may differ from the
+    detailed sum), but per-step attribution is unavailable.
+    """
+
+    def __init__(self, spec: IPUSpec, *, detailed: bool = True) -> None:
         self._spec = spec
+        self._detailed = detailed
         self._records: dict[str, StepRecord] = {}
         self._supersteps = 0
         self._host_io_seconds = 0.0
+        self._agg_compute_cycles = 0.0
+        self._agg_exchange_seconds = 0.0
+        self._agg_exchange_bytes = 0
+        self._agg_inter_ipu_bytes = 0
+
+    @property
+    def detailed(self) -> bool:
+        return self._detailed
+
+    def reset(self) -> None:
+        """Clear accumulated charges so the profiler can serve another run.
+
+        Reports are immutable snapshots (see :meth:`report`), so an engine
+        can keep one profiler alive across back-to-back solves instead of
+        constructing a fresh one per run.
+        """
+        self._records.clear()
+        self._supersteps = 0
+        self._host_io_seconds = 0.0
+        self._agg_compute_cycles = 0.0
+        self._agg_exchange_seconds = 0.0
+        self._agg_exchange_bytes = 0
+        self._agg_inter_ipu_bytes = 0
 
     def record_superstep(
         self,
@@ -144,14 +181,24 @@ class Profiler:
         compute_cycles: float,
         exchange_bytes: int,
         inter_ipu_bytes: int = 0,
-    ) -> SuperstepCharge:
+    ) -> SuperstepCharge | None:
         """Charge one BSP superstep: compute + sync + exchange.
 
         ``inter_ipu_bytes`` is the subset of the exchange crossing chip
         boundaries (charged at IPU-Link bandwidth).  Returns the charged
         phase seconds so callers (the engine) can trace the superstep
-        without recomputing the cost model.
+        without recomputing the cost model; aggregate-only profilers
+        return ``None`` (tracing forces a detailed profiler).
         """
+        if not self._detailed:
+            self._supersteps += 1
+            self._agg_compute_cycles += compute_cycles
+            self._agg_exchange_seconds += self._spec.exchange_seconds(
+                exchange_bytes, inter_ipu_bytes
+            )
+            self._agg_exchange_bytes += exchange_bytes
+            self._agg_inter_ipu_bytes += inter_ipu_bytes
+            return None
         charge = SuperstepCharge(
             compute_seconds=self._spec.cycles_to_seconds(compute_cycles),
             sync_seconds=self._spec.sync_seconds(),
@@ -179,6 +226,23 @@ class Profiler:
 
     def report(self) -> ProfileReport:
         """Snapshot the accumulated costs."""
+        if not self._detailed:
+            aggregate = StepRecord(
+                "all/aggregate",
+                executions=self._supersteps,
+                compute_seconds=self._spec.cycles_to_seconds(
+                    self._agg_compute_cycles
+                ),
+                sync_seconds=self._supersteps * self._spec.sync_seconds(),
+                exchange_seconds=self._agg_exchange_seconds,
+                exchange_bytes=self._agg_exchange_bytes,
+                inter_ipu_bytes=self._agg_inter_ipu_bytes,
+            )
+            return ProfileReport(
+                records=(aggregate,) if self._supersteps else (),
+                supersteps=self._supersteps,
+                host_io_seconds=self._host_io_seconds,
+            )
         return ProfileReport(
             records=tuple(
                 dataclasses.replace(record) for record in self._records.values()

@@ -1,7 +1,7 @@
 """LSAP problem layer: instances, results, and certificates."""
 
 from repro.lap.problem import LAPInstance
-from repro.lap.rectangular import solve_rectangular
+from repro.lap.rectangular import padding_value, solve_rectangular
 from repro.lap.result import AssignmentResult
 from repro.lap.validation import (
     assert_valid_result,
@@ -14,6 +14,7 @@ from repro.lap.validation import (
 __all__ = [
     "LAPInstance",
     "AssignmentResult",
+    "padding_value",
     "solve_rectangular",
     "assert_valid_result",
     "check_optimality",

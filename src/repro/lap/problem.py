@@ -104,15 +104,24 @@ class LAPInstance:
 
         Uses the standard ``max(S) - S`` transformation, which preserves the
         argmax assignment while producing non-negative costs.
+
+        Rectangular similarities are padded to square *before* the transform
+        is interpreted: the padding entries get cost ``max(S)`` — the worst
+        possible match, equivalent to padding the similarity with zeros —
+        so padding never attracts an original row away from a real column.
+        (Padding the converted *costs* with 0.0 would make padding the
+        cheapest option, the exact trap :meth:`from_rectangular`'s docstring
+        warns about.)
         """
         similarity = np.asarray(similarity, dtype=np.float64)
         if similarity.size == 0:
             raise InvalidProblemError("similarity matrix must be non-empty")
         if not np.all(np.isfinite(similarity)):
             raise InvalidProblemError("similarity matrix contains NaN or infinity")
-        costs = similarity.max() - similarity
+        top = float(similarity.max())
+        costs = top - similarity
         if costs.shape[0] != costs.shape[1]:
-            return cls.from_rectangular(costs, name=name)
+            return cls.from_rectangular(costs, pad_value=top, name=name)
         return cls(costs, name=name)
 
     # ------------------------------------------------------------------
@@ -143,13 +152,27 @@ class LAPInstance:
         return LAPInstance(padded, name=f"{self.name}-padded{size}")
 
     def total_cost(self, assignment: np.ndarray) -> float:
-        """Sum of costs along a column-for-each-row assignment vector."""
+        """Sum of costs along a column-for-each-row assignment vector.
+
+        Entries equal to ``-1`` mean "row unassigned" (the convention
+        :func:`repro.lap.rectangular.solve_rectangular` returns for tall
+        problems) and are skipped.  Any other out-of-range entry raises
+        :class:`InvalidProblemError` — NumPy's negative indexing would
+        otherwise silently charge the cost of the wrong column.
+        """
         assignment = np.asarray(assignment)
         if assignment.shape != (self.size,):
             raise InvalidProblemError(
                 f"assignment must have shape ({self.size},), got {assignment.shape}"
             )
-        return float(self.costs[np.arange(self.size), assignment].sum())
+        if assignment.min(initial=0) < -1 or assignment.max(initial=-1) >= self.size:
+            raise InvalidProblemError(
+                "assignment contains column indices outside [-1, "
+                f"{self.size}): {assignment!r}"
+            )
+        matched = assignment >= 0
+        rows = np.nonzero(matched)[0]
+        return float(self.costs[rows, assignment[matched]].sum())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LAPInstance(name={self.name!r}, size={self.size})"

@@ -15,7 +15,23 @@ import numpy as np
 from repro.errors import InvalidProblemError
 from repro.lap.problem import LAPInstance
 
-__all__ = ["solve_rectangular"]
+__all__ = ["padding_value", "solve_rectangular"]
+
+
+def padding_value(values: np.ndarray) -> float:
+    """A pad strictly above ``values.max()``, robust to large magnitudes.
+
+    ``max + 1.0`` degenerates when entries are huge (at ``max ≈ 1e16`` the
+    ``+1.0`` is absorbed by rounding, so padding ties with real entries);
+    instead the margin scales with the data's magnitude and spread, falling
+    back to the next representable float when even that is absorbed.
+    """
+    hi = float(np.max(values))
+    lo = float(np.min(values))
+    pad = hi + max(1.0, 1e-9 * max(abs(hi), hi - lo))
+    if not np.isfinite(pad) or pad <= hi:
+        pad = float(np.nextafter(hi, np.inf))
+    return pad
 
 
 def solve_rectangular(solver, costs: np.ndarray) -> tuple[np.ndarray, float]:
@@ -50,7 +66,7 @@ def solve_rectangular(solver, costs: np.ndarray) -> tuple[np.ndarray, float]:
     short, wide = work.shape
     # Pad the short side with a row-constant strictly above the data range
     # so padding never competes numerically with real entries.
-    pad_value = float(work.max()) + 1.0
+    pad_value = padding_value(work)
     padded = np.full((wide, wide), pad_value, dtype=np.float64)
     padded[:short, :] = work
     result = solver.solve(LAPInstance(padded))

@@ -6,7 +6,7 @@ import pytest
 
 from repro.alignment.evaluation import edge_correctness, node_correctness
 from repro.alignment.noise import noisy_copy
-from repro.alignment.pipeline import align, align_noisy_copy
+from repro.alignment.pipeline import align, align_many, align_noisy_copy
 from repro.baselines.cpu_lapjv import LAPJVSolver
 from repro.baselines.fastha import FastHASolver
 from repro.core.solver import HunIPUSolver
@@ -117,3 +117,31 @@ class TestPipeline:
         hunipu = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
         result, _ = align_noisy_copy(small_graph, copy, hunipu)
         assert result.device_time_s > 0
+
+
+class TestAlignMany:
+    def test_matches_per_pair_align(self, small_graph):
+        copies = [noisy_copy(small_graph, 0.9, rng=seed) for seed in (10, 11, 12)]
+        pairs = [(small_graph, copy.copy) for copy in copies]
+        hunipu = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        batched = align_many(pairs, hunipu)
+        assert len(batched) == 3
+        for (first, second), result in zip(pairs, batched):
+            single = align(first, second, LAPJVSolver())
+            assert result.lap_result.total_cost == pytest.approx(
+                single.lap_result.total_cost, rel=1e-9
+            )
+            assert result.mapping.shape == (20,)
+        # One compiled graph serves the whole stream.
+        assert set(hunipu._compiled) == {20}
+
+    def test_power_of_two_padding_preserved(self, small_graph):
+        copy = noisy_copy(small_graph, 0.9, rng=13)
+        results = align_many(
+            [(small_graph, copy.copy)], FastHASolver(), pad_power_of_two=True
+        )
+        assert results[0].padded_size == 32
+        assert results[0].mapping.shape == (20,)
+
+    def test_empty_stream(self):
+        assert align_many([], LAPJVSolver()) == []

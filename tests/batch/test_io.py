@@ -1,0 +1,102 @@
+"""Tests for batch-file loading (repro.batch.io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.batch import load_batch_file
+from repro.errors import InvalidProblemError
+
+
+class TestNpy:
+    def test_single_matrix(self, tmp_path, rng):
+        path = tmp_path / "one.npy"
+        np.save(path, rng.normal(size=(5, 5)))
+        instances = load_batch_file(path)
+        assert [i.size for i in instances] == [5]
+        assert instances[0].name == "one"
+
+    def test_stack(self, tmp_path, rng):
+        path = tmp_path / "stack.npy"
+        np.save(path, rng.normal(size=(3, 4, 4)))
+        instances = load_batch_file(path)
+        assert [i.size for i in instances] == [4, 4, 4]
+        assert instances[1].name == "stack[1]"
+
+    def test_rejects_wrong_ndim(self, tmp_path, rng):
+        path = tmp_path / "flat.npy"
+        np.save(path, rng.normal(size=7))
+        with pytest.raises(InvalidProblemError, match="ndim"):
+            load_batch_file(path)
+
+    def test_rejects_rectangular(self, tmp_path, rng):
+        path = tmp_path / "rect.npy"
+        np.save(path, rng.normal(size=(3, 5)))
+        with pytest.raises(InvalidProblemError, match="square"):
+            load_batch_file(path)
+
+
+class TestNpz:
+    def test_entries_sorted_by_key(self, tmp_path, rng):
+        path = tmp_path / "arch.npz"
+        np.savez(
+            path, b=rng.normal(size=(4, 4)), a=rng.normal(size=(6, 6))
+        )
+        instances = load_batch_file(path)
+        assert [(i.name, i.size) for i in instances] == [("a", 6), ("b", 4)]
+
+
+class TestJson:
+    def test_bare_list_of_matrices(self, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps([[[1, 2], [3, 4]], [[0, 1], [1, 0]]]))
+        instances = load_batch_file(path)
+        assert [i.size for i in instances] == [2, 2]
+        assert instances[0].name == "plain[0]"
+
+    def test_instances_object_with_names(self, tmp_path):
+        path = tmp_path / "named.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "instances": [
+                        {"name": "x", "costs": [[1, 2], [3, 4]]},
+                        [[5, 6], [7, 8]],
+                    ]
+                }
+            )
+        )
+        instances = load_batch_file(path)
+        assert instances[0].name == "x"
+        assert instances[1].name == "named[1]"
+
+    def test_missing_instances_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"problems": []}))
+        with pytest.raises(InvalidProblemError, match="instances"):
+            load_batch_file(path)
+
+    def test_missing_costs(self, tmp_path):
+        path = tmp_path / "nocost.json"
+        path.write_text(json.dumps({"instances": [{"name": "x"}]}))
+        with pytest.raises(InvalidProblemError, match="costs"):
+            load_batch_file(path)
+
+    def test_non_list_payload(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("3")
+        with pytest.raises(InvalidProblemError, match="expected a list"):
+            load_batch_file(path)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidProblemError, match="not found"):
+            load_batch_file(tmp_path / "absent.npy")
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "batch.csv"
+        path.write_text("1,2\n3,4\n")
+        with pytest.raises(InvalidProblemError, match="suffix"):
+            load_batch_file(path)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench.ablations import mapping_exchange_bytes, run_ablations
+from repro.bench.batch import run_batch_bench
 from repro.bench.figure5 import run_figure5
 from repro.bench.recording import BenchScale
 from repro.bench.table1 import run_table1
@@ -90,6 +91,33 @@ class TestTable3:
         # Three sub-tables: HighSchool, Voles, MultiMagna.
         assert len(result.tables) == 3
         assert "MultiMagna" in result.tables[2]
+
+
+class TestBatch:
+    @pytest.fixture(scope="class")
+    def batch_result(self):
+        return run_batch_bench(QUICK)
+
+    def test_results_bit_identical(self, batch_result):
+        assert any(
+            "bit-identical" in note and "OK" in note
+            for note in batch_result.shape_notes
+        )
+
+    def test_all_paths_recorded(self, batch_result):
+        assert batch_result.records_for("hunipu-sequential")
+        assert batch_result.records_for("hunipu-batch")
+        assert batch_result.records_for("hunipu-batch-mixed")
+
+    def test_mixed_stream_padded_into_one_group(self, batch_result):
+        (mixed,) = batch_result.records_for("hunipu-batch-mixed")
+        assert mixed.extra["groups"] == 1
+        assert mixed.extra["padded_instances"] > 0
+
+    def test_formats(self, batch_result):
+        text = batch_result.format()
+        assert "Batch throughput" in text
+        assert "inst/s" in text
 
 
 class TestAblations:

@@ -2,8 +2,6 @@
 the paper's own claims are consistent with its tables (useful guards
 against transcription typos)."""
 
-import pytest
-
 from repro.bench.paper_reference import (
     PAPER_FIGURE5_SPEEDUP_RANGE,
     PAPER_TABLE2_GAIN,

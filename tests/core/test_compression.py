@@ -1,7 +1,6 @@
 """Property tests for the slack-matrix compression scheme (§IV-B)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -66,6 +66,31 @@ class TestOptimality:
         result = solver.solve(LAPInstance(costs))
         assert result.total_cost == pytest.approx(_optimum(costs), rel=1e-9)
 
+    def test_large_negative_offset_stays_optimal(self, toy_solver):
+        # Regression: normalization used to divide by max(|c|) without
+        # shifting first, so costs like -1e12 + {0..9} collapsed below the
+        # solver's tolerance and ties were broken arbitrarily (observed:
+        # total -7999999999976 vs optimum -7999999999995 on this seed).
+        rng = np.random.default_rng(42)
+        costs = -1e12 + rng.integers(0, 10, (8, 8)).astype(np.float64)
+        result = toy_solver.solve(LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 10),
+        offset=st.sampled_from([-1e12, -1e9, 1e9, 1e12]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_offset_invariance(self, n, offset, seed):
+        # Shifting every cost by a constant shifts the optimum by n*offset
+        # but must not change which permutation wins.
+        solver = HunIPUSolver(spec=IPUSpec.toy(num_tiles=4))
+        base = np.random.default_rng(seed).integers(0, 10, (n, n))
+        costs = offset + base.astype(np.float64)
+        result = solver.solve(LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-3)
+
 
 class TestDualCertificate:
     def test_terminal_slack_certifies_optimality(self, toy_solver):

@@ -1,7 +1,6 @@
 """Focused tests for Step 5 (path augmentation) driven in isolation."""
 
 import numpy as np
-import pytest
 
 from repro.core.mapping_plan import MappingPlan
 from repro.core.state import SolverState

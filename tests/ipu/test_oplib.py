@@ -25,7 +25,6 @@ from repro.ipu.oplib import (
     WriteScalar,
     build_reduce,
 )
-from repro.ipu.programs import Execute, Sequence
 from repro.ipu.spec import IPUSpec
 
 COST = CostContext()

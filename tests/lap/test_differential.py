@@ -1,0 +1,158 @@
+"""Property-based differential tests: every solver facade vs. the oracle.
+
+Each library solver must agree with ``scipy.optimize.linear_sum_assignment``
+on the optimal total — including on the inputs that exposed real bugs in
+this codebase: negative costs, large constant offsets, rectangular shapes,
+and similarity matrices.  The batch engine must additionally return
+bit-identical results to solving the same stream one instance at a time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines import (
+    CPUHungarianSolver,
+    DateNagiSolver,
+    FastHASolver,
+    LAPJVSolver,
+    ScipySolver,
+)
+from repro.batch import BatchSolver
+from repro.core.solver import HunIPUSolver
+from repro.ipu.spec import IPUSpec
+from repro.lap.problem import LAPInstance
+from repro.lap.rectangular import solve_rectangular
+from repro.lap.validation import check_perfect_matching
+
+# One shared instance per facade: compiled-graph caches (HunIPU) and device
+# state are designed for reuse, and hypothesis replays many examples.
+_SOLVERS = {
+    "hunipu": HunIPUSolver(spec=IPUSpec.toy(num_tiles=4)),
+    "cpu": CPUHungarianSolver(),
+    "lapjv": LAPJVSolver(),
+    "date-nagi": DateNagiSolver(),
+    "fastha": FastHASolver(),
+    "scipy": ScipySolver(),
+}
+
+
+def _optimum(costs):
+    rows, cols = linear_sum_assignment(costs)
+    return float(costs[rows, cols].sum())
+
+
+def _size_for(name, n):
+    # FastHA's kernels assume 2^m instances (§V-C); the padded facade solves
+    # the padded problem verbatim, so differential-test it on its native
+    # power-of-two sizes instead.
+    if name == "fastha":
+        return 1 << (n.bit_length() - 1)
+    return n
+
+
+def _solve(name, instance):
+    return _SOLVERS[name].solve(instance)
+
+
+def _costs(n, seed, offset, scale):
+    gen = np.random.default_rng(seed)
+    return offset + gen.uniform(0, scale, (n, n))
+
+
+@pytest.mark.parametrize("name", sorted(_SOLVERS))
+class TestSquareDifferential:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 10), seed=st.integers(0, 10_000))
+    def test_uniform_costs(self, name, n, seed):
+        n = _size_for(name, n)
+        costs = _costs(n, seed, 0.0, 100.0)
+        result = _solve(name, LAPInstance(costs))
+        check_perfect_matching(result.assignment, n)
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 8), seed=st.integers(0, 10_000))
+    def test_negative_costs(self, name, n, seed):
+        n = _size_for(name, n)
+        costs = _costs(n, seed, -50.0, 40.0)
+        result = _solve(name, LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(2, 8),
+        seed=st.integers(0, 10_000),
+        offset=st.sampled_from([-1e9, 1e9]),
+    )
+    def test_large_offset(self, name, n, seed, offset):
+        # Integer payload on a huge offset: exact optimum is representable,
+        # so any tie-breaking drift from sloppy normalization shows up.
+        if name in ("cpu", "date-nagi", "fastha"):
+            pytest.skip(
+                "reference baselines use zero_tolerance ~ 1e-9 * max|c|, so "
+                "unit gaps on a 1e9 offset are modeled as ties by design"
+            )
+        gen = np.random.default_rng(seed)
+        costs = offset + gen.integers(0, 10, (n, n)).astype(np.float64)
+        result = _solve(name, LAPInstance(costs))
+        assert result.total_cost == pytest.approx(_optimum(costs), abs=1e-3)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rows=st.integers(1, 6), cols=st.integers(1, 6), seed=st.integers(0, 10_000)
+    )
+    def test_rectangular(self, name, rows, cols, seed):
+        if name == "fastha":
+            pytest.skip("fastha solves square power-of-two instances only")
+        costs = np.random.default_rng(seed).uniform(1, 20, (rows, cols))
+        _, total = solve_rectangular(_SOLVERS[name], costs)
+        assert total == pytest.approx(_optimum(costs), abs=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 8), seed=st.integers(0, 10_000))
+    def test_similarity_maximization(self, name, n, seed):
+        n = _size_for(name, n)
+        similarity = np.random.default_rng(seed).uniform(-1, 1, (n, n))
+        result = _solve(name, LAPInstance.from_similarity(similarity))
+        rows, cols = linear_sum_assignment(similarity, maximize=True)
+        best = float(similarity[rows, cols].sum())
+        achieved = float(similarity[np.arange(n), result.assignment].sum())
+        assert achieved == pytest.approx(best, abs=1e-6)
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.integers(2, 10),
+        count=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_batch_matches_one_by_one(self, n, count, seed):
+        gen = np.random.default_rng(seed)
+        instances = [
+            LAPInstance(gen.uniform(-10, 90, (n, n))) for _ in range(count)
+        ]
+        solver = _SOLVERS["hunipu"]
+        single = [solver.solve(instance) for instance in instances]
+        batch = BatchSolver(solver).solve_batch(instances)
+        for one, many in zip(single, batch.results):
+            assert np.array_equal(one.assignment, many.assignment)
+            assert one.total_cost == many.total_cost
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(2, 7), min_size=1, max_size=5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_mixed_size_batch_is_optimal(self, sizes, seed):
+        gen = np.random.default_rng(seed)
+        instances = [LAPInstance(gen.uniform(0, 30, (n, n))) for n in sizes]
+        batch = BatchSolver(_SOLVERS["hunipu"]).solve_batch(instances)
+        for instance, result in zip(instances, batch.results):
+            check_perfect_matching(result.assignment, instance.size)
+            assert result.total_cost == pytest.approx(
+                _optimum(instance.costs), abs=1e-6
+            )

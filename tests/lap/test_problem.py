@@ -87,6 +87,36 @@ class TestSimilarity:
         instance = LAPInstance.from_similarity(np.ones((2, 3)))
         assert instance.size == 3
 
+    def test_rectangular_padding_is_worst_match(self):
+        # Regression: the padding block must cost max(S) (zero similarity),
+        # not 0 (a free, maximally attractive assignment).
+        similarity = np.array([[0.9, 0.2, 0.7], [0.1, 0.8, 0.3]])
+        instance = LAPInstance.from_similarity(similarity)
+        top = similarity.max()
+        np.testing.assert_allclose(instance.costs[:2, :], top - similarity)
+        np.testing.assert_allclose(instance.costs[2, :], top)
+
+    def test_tall_similarity_padding_is_worst_match(self):
+        similarity = np.array([[5.0], [1.0], [3.0]])
+        instance = LAPInstance.from_similarity(similarity)
+        assert instance.size == 3
+        np.testing.assert_allclose(instance.costs[:, 0], 5.0 - similarity[:, 0])
+        np.testing.assert_allclose(instance.costs[:, 1:], 5.0)
+
+    def test_rectangular_padding_preserves_optimal_matching(self):
+        # The padded square optimum restricted to real rows/columns must be
+        # the optimal similarity matching of the rectangular input.
+        from scipy.optimize import linear_sum_assignment
+
+        similarity = np.array([[0.9, 0.2, 0.3], [0.8, 0.1, 0.6]])  # 2x3
+        instance = LAPInstance.from_similarity(similarity)
+        rows, cols = linear_sum_assignment(instance.costs)
+        total_similarity = sum(
+            similarity[r, c] for r, c in zip(rows, cols) if r < 2 and c < 3
+        )
+        # Optimal real matching: rows (0, 1) -> columns (0, 2) = 0.9 + 0.6.
+        assert total_similarity == pytest.approx(1.5)
+
 
 class TestPowerOfTwoPadding:
     @pytest.mark.parametrize(
@@ -130,3 +160,34 @@ class TestTotalCost:
         instance = LAPInstance(costs)
         manual = sum(costs[i, assignment[i]] for i in range(n))
         assert instance.total_cost(assignment) == pytest.approx(manual)
+
+    def test_minus_one_skips_unassigned_rows(self):
+        # Regression: -1 ("row unassigned", solve_rectangular's convention
+        # for tall problems) must be skipped, not charged as the LAST
+        # column via numpy negative indexing.
+        instance = LAPInstance(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert instance.total_cost(np.array([0, -1])) == 1.0
+        assert instance.total_cost(np.array([-1, -1])) == 0.0
+
+    def test_rejects_out_of_range_indices(self):
+        instance = LAPInstance(np.ones((3, 3)))
+        with pytest.raises(InvalidProblemError, match="outside"):
+            instance.total_cost(np.array([0, 1, 3]))
+        with pytest.raises(InvalidProblemError, match="outside"):
+            instance.total_cost(np.array([0, 1, -2]))
+
+    def test_minus_one_consistent_with_solve_rectangular(self):
+        # Tall problem: solve_rectangular marks unmatched rows -1; scoring
+        # its assignment on the row-square cost block must equal its total.
+        from repro.baselines.scipy_reference import ScipySolver
+        from repro.lap.rectangular import solve_rectangular
+
+        costs = np.array([[4.0, 1.0], [2.0, 3.0], [5.0, 6.0]])
+        assignment, total = solve_rectangular(ScipySolver(), costs)
+        assert (assignment == -1).sum() == 1
+        square = LAPInstance(np.pad(costs, ((0, 0), (0, 1)), constant_values=0.0))
+        matched_sum = sum(
+            costs[i, j] for i, j in enumerate(assignment) if j >= 0
+        )
+        assert square.total_cost(assignment) == pytest.approx(matched_sum)
+        assert total == pytest.approx(matched_sum)

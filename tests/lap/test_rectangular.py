@@ -8,7 +8,7 @@ from repro.baselines.cpu_lapjv import LAPJVSolver
 from repro.core.solver import HunIPUSolver
 from repro.errors import InvalidProblemError
 from repro.ipu.spec import IPUSpec
-from repro.lap.rectangular import solve_rectangular
+from repro.lap.rectangular import padding_value, solve_rectangular
 
 
 @pytest.fixture(scope="module")
@@ -61,3 +61,48 @@ class TestValidation:
         costs = rng.uniform(1, 9, (4, 6))
         _, total = solve_rectangular(LAPJVSolver(), costs)
         assert total == pytest.approx(_scipy_rect(costs), abs=1e-9)
+
+
+class TestPaddingValue:
+    """Regression: ``max + 1.0`` degenerates once +1.0 rounds away."""
+
+    def test_strictly_above_max_at_moderate_scale(self, rng):
+        values = rng.uniform(0, 9, (4, 4))
+        assert padding_value(values) > values.max()
+
+    @pytest.mark.parametrize("scale", [1e15, 1e16, 1e18])
+    def test_strictly_above_max_at_large_magnitude(self, rng, scale):
+        values = rng.uniform(1, 2, (4, 4)) * scale
+        pad = padding_value(values)
+        assert pad > values.max()  # fails with max() + 1.0 at these scales
+        assert np.isfinite(pad)
+
+    def test_finite_near_float_max(self):
+        values = np.array([[np.finfo(np.float64).max * 0.5, 1.0], [2.0, 3.0]])
+        pad = padding_value(values)
+        assert np.isfinite(pad) and pad > values.max()
+
+    def test_solver_sees_pad_above_data(self, rng):
+        # End to end: the padded matrix handed to the solver must keep its
+        # padding strictly above the data maximum even at 1e16.
+        seen = {}
+
+        class SpySolver:
+            name = "spy"
+
+            def solve(self, instance):
+                seen["costs"] = instance.costs
+                from repro.baselines.scipy_reference import ScipySolver
+
+                return ScipySolver().solve(instance)
+
+        costs = rng.uniform(1, 2, (3, 5)) * 1e16
+        solve_rectangular(SpySolver(), costs)
+        padded = seen["costs"]
+        assert padded.max() > costs.max()
+        assert (padded[:3, :5] == costs).all()
+
+    def test_large_magnitude_totals_match_scipy(self, solver, rng):
+        costs = rng.uniform(1, 2, (3, 5)) * 1e12
+        _, total = solve_rectangular(solver, costs)
+        assert total == pytest.approx(_scipy_rect(costs), rel=1e-12)

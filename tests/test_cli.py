@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -56,3 +59,45 @@ class TestCommands:
     def test_run_table2_quick(self, capsys):
         assert main(["run", "table2", "--scale", "quick"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestSolveBatch:
+    @pytest.fixture()
+    def batch_file(self, tmp_path, rng):
+        path = tmp_path / "stream.npy"
+        np.save(path, rng.uniform(0, 9, (3, 8, 8)))
+        return path
+
+    def test_batch_solves_stream(self, capsys, batch_file):
+        assert main(["solve", "--batch", str(batch_file)]) == 0
+        out = capsys.readouterr().out
+        assert "3 instance(s)" in out
+        assert "stream[2]" in out
+        assert "throughput" in out
+
+    def test_batch_with_generic_solver(self, capsys, batch_file):
+        assert main(["solve", "--batch", str(batch_file),
+                     "--solver", "scipy"]) == 0
+        assert "group n=8" in capsys.readouterr().out
+
+    def test_batch_json_mixed_sizes(self, capsys, tmp_path, rng):
+        payload = {
+            "instances": [
+                {"name": "a", "costs": rng.uniform(0, 5, (4, 4)).tolist()},
+                {"name": "b", "costs": rng.uniform(0, 5, (6, 6)).tolist()},
+            ]
+        }
+        path = tmp_path / "stream.json"
+        path.write_text(json.dumps(payload))
+        assert main(["solve", "--batch", str(path), "--solver", "scipy"]) == 0
+        out = capsys.readouterr().out
+        assert "2 group(s)" in out
+
+    def test_batch_rejects_trace(self, capsys, batch_file, tmp_path):
+        assert main(["solve", "--batch", str(batch_file),
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_run_batch_experiment_enumerated(self):
+        args = build_parser().parse_args(["run", "batch", "--scale", "quick"])
+        assert args.experiment == "batch"
