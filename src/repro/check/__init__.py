@@ -1,0 +1,32 @@
+"""Static BSP constraint checking (C1–C4) for compute graphs.
+
+The public surface:
+
+* :func:`check_graph` — run every constraint pass over one graph;
+* :class:`CheckConfig` — pass tunables (headroom, thresholds);
+* :class:`CheckReport` / :class:`Diagnostic` — findings;
+* :func:`check_document` — bundle reports into a ``repro.check/1`` JSON
+  document.
+
+The solver-wide audit (every program HunIPU builds, compression and batch
+paths included) lives in :mod:`repro.check.audit`; it is imported lazily by
+the CLI because it pulls in the whole solver stack, while this package must
+stay importable from :mod:`repro.ipu.compiler` without cycles.
+"""
+
+from repro.check.checker import CheckConfig, check_graph
+from repro.check.report import (
+    CheckReport,
+    Diagnostic,
+    check_document,
+    check_report_to_dict,
+)
+
+__all__ = [
+    "CheckConfig",
+    "CheckReport",
+    "Diagnostic",
+    "check_graph",
+    "check_document",
+    "check_report_to_dict",
+]

@@ -1,0 +1,123 @@
+"""Audit every program the HunIPU solver builds against C1–C4.
+
+One :class:`CompiledInstance` contains all six Munkres step programs, the
+§IV-B compression pass, and the control scaffolding; the batch engine adds
+the padded-size graphs it compiles for mixed streams.  :func:`audit_solver`
+builds each of those and runs :func:`repro.check.check_graph` over the full
+program tree, so ``repro check`` (and the CI gate) proves the solver's own
+graphs hold the constraints they were designed around.
+
+This module imports the whole solver stack; keep it out of
+``repro.check.__init__`` so the checker stays importable from the compiler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.check.checker import CheckConfig, check_graph
+from repro.check.report import CheckReport
+from repro.ipu.spec import IPUSpec
+
+__all__ = ["AuditEntry", "audit_solver", "DEFAULT_AUDIT_SIZES"]
+
+logger = logging.getLogger(__name__)
+
+#: Sizes exercised by default: one that divides the tile count evenly, one
+#: that stresses the ±1-row remainder handling, one bigger multi-row-block.
+DEFAULT_AUDIT_SIZES = (8, 13, 32)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditEntry:
+    """One audited graph: a human-readable label plus its report."""
+
+    label: str
+    report: CheckReport
+
+
+def audit_solver(
+    sizes: Sequence[int] = DEFAULT_AUDIT_SIZES,
+    *,
+    spec: IPUSpec | None = None,
+    dtype: np.dtype | type = np.float64,
+    config: CheckConfig | None = None,
+    include_batch: bool = True,
+) -> list[AuditEntry]:
+    """Check every graph the solver stack builds for ``sizes``.
+
+    Per size this audits the full six-step program with compression on and
+    off (the two program shapes :class:`~repro.core.solver.CompiledInstance`
+    can build).  With ``include_batch``, a mixed-size stream — including one
+    size that only exists via padding — is pushed through
+    :class:`~repro.batch.BatchSolver` and every graph its solver compiled is
+    audited too, covering the batch path end to end.
+    """
+    from repro.batch import BatchSolver
+    from repro.core.solver import CompiledInstance, HunIPUSolver
+    from repro.data.synthetic import uniform_instance
+
+    spec = spec if spec is not None else IPUSpec.mk2()
+    dtype = np.dtype(dtype)
+    entries: list[AuditEntry] = []
+    for size in sizes:
+        for use_compression in (True, False):
+            compiled = CompiledInstance(
+                size, spec, dtype, "batched", use_compression=use_compression
+            )
+            label = (
+                f"hunipu n={size} "
+                f"({'compressed' if use_compression else 'uncompressed'})"
+            )
+            logger.info("checking %s", label)
+            entries.append(
+                AuditEntry(
+                    label,
+                    check_graph(compiled.graph, compiled.program, config),
+                )
+            )
+    if include_batch and sizes:
+        base = max(min(sizes), 4)
+        solver = HunIPUSolver(spec, dtype)
+        stream = [
+            uniform_instance(base, 10, seed=1),
+            uniform_instance(base - 1, 10, seed=2),  # solved via padding
+            uniform_instance(base, 10, seed=3),
+        ]
+        BatchSolver(solver).solve_batch(stream)
+        for size, compiled in sorted(solver._compiled.items()):
+            label = f"batch-path n={size}"
+            logger.info("checking %s", label)
+            entries.append(
+                AuditEntry(
+                    label,
+                    check_graph(compiled.graph, compiled.program, config),
+                )
+            )
+    return entries
+
+
+def audit_engine_modes(
+    size: int,
+    *,
+    spec: IPUSpec | None = None,
+    config: CheckConfig | None = None,
+) -> dict[Literal["batched", "per_tile"], CheckReport]:
+    """Check the graphs built for both engine modes for one size.
+
+    The graph is rebuilt per mode exactly as the solver would; the checker
+    must produce identical findings for both (the engine-mode equivalence
+    the fuzz suite asserts at the diagnostic level).
+    """
+    from repro.core.solver import CompiledInstance
+
+    spec = spec if spec is not None else IPUSpec.mk2()
+    reports: dict[Literal["batched", "per_tile"], CheckReport] = {}
+    for mode in ("batched", "per_tile"):
+        compiled = CompiledInstance(size, spec, np.dtype(np.float64), mode)
+        reports[mode] = check_graph(compiled.graph, compiled.program, config)
+    return reports

@@ -1,0 +1,184 @@
+"""Diagnostics and reports produced by the static BSP constraint checker.
+
+A :class:`Diagnostic` is one finding, tagged with the paper constraint it
+violates (C1 race, C2 memory, C3 balance, C4 dynamic ops) and enough
+location detail — compute set, tensor, tile, flat-element interval — to act
+on it without re-running the analysis.  A :class:`CheckReport` is the
+outcome of one :func:`repro.check.check_graph` pass; several reports are
+bundled into one schema-versioned ``repro.check/1`` document
+(:func:`check_document`) for the ``repro check`` CLI and CI gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.errors import ConstraintError
+
+__all__ = [
+    "Diagnostic",
+    "CheckReport",
+    "check_report_to_dict",
+    "check_document",
+]
+
+#: Diagnostic severities, ordered harmless-to-fatal.
+SEVERITIES = ("warning", "error")
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One constraint finding.
+
+    ``code`` names the constraint and the specific rule, dot-separated
+    (``"C1.WRITE_WRITE"``, ``"C2.TILE_MEMORY"``...); ``interval`` is the
+    offending flat-element range ``[start, stop)`` when the rule has one.
+    """
+
+    code: str
+    severity: str
+    message: str
+    compute_set: str | None = None
+    tensor: str | None = None
+    tile: int | None = None
+    interval: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def constraint(self) -> str:
+        """The paper constraint this diagnostic belongs to (``"C1"``...)."""
+        return self.code.split(".", 1)[0]
+
+    def format(self) -> str:
+        where = []
+        if self.compute_set is not None:
+            where.append(f"compute set {self.compute_set!r}")
+        if self.tensor is not None:
+            where.append(f"tensor {self.tensor!r}")
+        if self.tile is not None:
+            where.append(f"tile {self.tile}")
+        if self.interval is not None:
+            where.append(f"interval [{self.interval[0]}, {self.interval[1]})")
+        location = ", ".join(where)
+        prefix = f"{self.severity} {self.code}"
+        return f"{prefix} [{location}]: {self.message}" if location else (
+            f"{prefix}: {self.message}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckReport:
+    """Everything one checker pass found on one graph."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    compute_sets_checked: int
+    tensors_checked: int
+    vertices_checked: int
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* diagnostics were found (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when the pass found nothing at all."""
+        return not self.diagnostics
+
+    def by_constraint(self) -> dict[str, int]:
+        """Diagnostic counts keyed by constraint (``"C1"``...)."""
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            key = diagnostic.constraint
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def raise_if_failed(self, *, include_warnings: bool = False) -> None:
+        """Raise :class:`ConstraintError` when the pass found violations.
+
+        By default only error diagnostics are fatal; lint findings (C3/C4)
+        stay advisory unless ``include_warnings`` is set.
+        """
+        offending = (
+            self.diagnostics if include_warnings else self.errors
+        )
+        if not offending:
+            return
+        lines = "\n".join("  " + d.format() for d in offending)
+        raise ConstraintError(
+            f"BSP constraint check failed with {len(offending)} "
+            f"diagnostic(s):\n{lines}"
+        )
+
+    def format_text(self) -> str:
+        """Human-readable multi-line summary (the CLI's output body)."""
+        header = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"over {self.compute_sets_checked} compute set(s), "
+            f"{self.tensors_checked} tensor(s), "
+            f"{self.vertices_checked} vertex/vertices"
+        )
+        if self.clean:
+            return header
+        return header + "\n" + "\n".join(
+            "  " + d.format() for d in self.diagnostics
+        )
+
+
+def check_report_to_dict(report: CheckReport) -> dict[str, Any]:
+    """The JSON shape of one report (nested inside ``repro.check/1``)."""
+    return {
+        "ok": report.ok,
+        "compute_sets_checked": report.compute_sets_checked,
+        "tensors_checked": report.tensors_checked,
+        "vertices_checked": report.vertices_checked,
+        "by_constraint": report.by_constraint(),
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": d.severity,
+                "message": d.message,
+                "compute_set": d.compute_set,
+                "tensor": d.tensor,
+                "tile": d.tile,
+                "interval": list(d.interval) if d.interval else None,
+            }
+            for d in report.diagnostics
+        ],
+    }
+
+
+def check_document(
+    reports: Mapping[str, CheckReport],
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A ``repro.check/1`` document bundling labeled reports.
+
+    The labels describe which graph was audited (``"hunipu n=8"``,
+    ``"batch n=16 padded"``...).  Write with
+    :func:`repro.obs.export.write_json`; validate with
+    :func:`repro.obs.export.validate_document`.
+    """
+    from repro.obs.export import CHECK_SCHEMA
+
+    return {
+        "schema": CHECK_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "ok": all(report.ok for report in reports.values()),
+        "reports": [
+            {"label": label, **check_report_to_dict(report)}
+            for label, report in reports.items()
+        ],
+    }

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing any code:
+Five commands cover the common workflows without writing any code:
 
 * ``info`` — the simulated device specs and library version;
 * ``solve`` — solve one synthetic instance with any solver and print the
@@ -12,7 +12,12 @@ Four commands cover the common workflows without writing any code:
   print the per-step BSP table plus imbalance/convergence diagnostics;
 * ``run`` — regenerate one (or all) of the paper's tables/figures at a
   chosen scale, printing the paper-layout report and optionally saving the
-  text report and machine-readable ``BENCH_*.json`` run records.
+  text report and machine-readable ``BENCH_*.json`` run records;
+* ``check`` — audit every graph the HunIPU solver builds (all six Munkres
+  steps, compression on/off, the batch path) against the paper's four IPU
+  constraints (C1 races, C2 tile memory, C3 balance, C4 dynamic ops) and
+  optionally write a schema-versioned ``repro.check/1`` report; exits
+  non-zero on any C1/C2 error, which is what the CI gate keys on.
 
 Every command accepts ``--log-level`` / ``-v`` (logs go to stderr, so
 stdout stays machine-readable).
@@ -132,6 +137,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save BENCH_<experiment>.json run records (needs --output)",
     )
     _add_logging_args(run)
+
+    check = sub.add_parser(
+        "check",
+        help="audit the solver's graphs against the C1-C4 IPU constraints",
+    )
+    check.add_argument(
+        "--size",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="matrix size to audit (repeatable; default: 8, 13, 32)",
+    )
+    check.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="write the repro.check/1 report document",
+    )
+    check.add_argument(
+        "--headroom",
+        type=float,
+        default=0.0,
+        help="fraction of tile SRAM held in reserve (C2 soft budget)",
+    )
+    check.add_argument(
+        "--imbalance-threshold",
+        type=float,
+        default=2.0,
+        help="max/mean static-work ratio before C3.IMBALANCE fires",
+    )
+    check.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="skip auditing the batch-solver path",
+    )
+    check.add_argument(
+        "--strict-warnings",
+        action="store_true",
+        help="exit non-zero on lint warnings (C3/C4) too, not just errors",
+    )
+    _add_logging_args(check)
     return parser
 
 
@@ -382,6 +430,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CheckConfig, check_document
+    from repro.check.audit import DEFAULT_AUDIT_SIZES, audit_solver
+    from repro.obs import validate_document, write_json
+
+    sizes = tuple(args.size) if args.size else DEFAULT_AUDIT_SIZES
+    config = CheckConfig(
+        memory_headroom=args.headroom,
+        imbalance_threshold=args.imbalance_threshold,
+    )
+    entries = audit_solver(
+        sizes, config=config, include_batch=not args.no_batch
+    )
+    failed = 0
+    for entry in entries:
+        report = entry.report
+        if report.clean:
+            verdict = "OK"
+        elif report.ok:
+            verdict = f"OK ({len(report.warnings)} warning(s))"
+        else:
+            verdict = "FAIL"
+        print(f"{verdict:<20s} {entry.label}")
+        for diagnostic in report.diagnostics:
+            print(f"    {diagnostic.format()}")
+        if not report.ok or (args.strict_warnings and report.warnings):
+            failed += 1
+    print(
+        f"\nchecked {len(entries)} graph(s) over sizes "
+        f"{', '.join(str(size) for size in sizes)}: "
+        + ("all constraints hold" if failed == 0 else f"{failed} graph(s) failed")
+    )
+    if args.json is not None:
+        document = check_document(
+            {entry.label: entry.report for entry in entries},
+            meta={
+                "sizes": list(sizes),
+                "memory_headroom": args.headroom,
+                "imbalance_threshold": args.imbalance_threshold,
+                "batch_path": not args.no_batch,
+            },
+        )
+        validate_document(document)
+        path = write_json(args.json, document)
+        print(f"report written : {path}")
+    return 0 if failed == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.obs.logging_setup import setup_logging
@@ -398,6 +494,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

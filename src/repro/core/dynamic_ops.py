@@ -44,6 +44,8 @@ class DynSliceSegment(Codelet):
     """
 
     fields = {"state": "in", "data": "in", "out": "out"}
+    dynamic_access = True
+    local_fields = ("data",)
 
     def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
         data = views["data"]
@@ -76,6 +78,8 @@ class DynStore(Codelet):
     """
 
     fields = {"sel": "in", "data": "inout"}
+    dynamic_access = True
+    local_fields = ("data",)
 
     def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
         data = views["data"]

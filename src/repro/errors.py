@@ -42,6 +42,16 @@ class TileMemoryError(CompilationError):
     """A tile's mapped tensors exceed its 624 KiB SRAM budget (C2)."""
 
 
+class ConstraintError(CompilationError):
+    """The static BSP constraint checker (``repro.check``) found violations.
+
+    Raised by :meth:`repro.check.CheckReport.raise_if_failed` — and hence by
+    :class:`repro.ipu.engine.Engine` under ``check="strict"`` — when a graph
+    races (C1), overflows tile SRAM (C2), or, with warnings escalated,
+    trips a balance/dynamic-op lint (C3/C4).
+    """
+
+
 class ExecutionError(ReproError, RuntimeError):
     """The BSP engine hit a run-time fault (e.g. host loop guard exceeded)."""
 

@@ -97,6 +97,17 @@ class Codelet(abc.ABC):
     #: Field name -> "in" | "out" | "inout".
     fields: Mapping[str, str] = {}
 
+    #: True for partition-and-distribute kernels that perform runtime-indexed
+    #: accesses (§IV-G / challenge C4); the static checker
+    #: (:mod:`repro.check`) lints their placement.
+    dynamic_access: bool = False
+
+    #: Fields a ``dynamic_access`` codelet requires to be resident on the
+    #: vertex's own tile (the "segment" side of partition-and-distribute);
+    #: a non-local region there turns every dynamic access into exchange
+    #: traffic, which is exactly what C4 forbids.
+    local_fields: tuple[str, ...] = ()
+
     def __init__(self) -> None:
         if not self.fields:
             raise GraphConstructionError(

@@ -22,10 +22,16 @@ call.
 from __future__ import annotations
 
 import dataclasses
+import logging
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
 from repro.errors import CompilationError, TileMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.check.checker import CheckConfig
+    from repro.check.report import CheckReport
 from repro.ipu.codelets import Codelet, CostContext
 from repro.ipu.graph import ComputeGraph, ComputeSet, Connection, Vertex
 from repro.ipu.programs import Copy, Program
@@ -33,6 +39,11 @@ from repro.ipu.spec import IPUSpec
 from repro.ipu.tensor import Tensor
 
 __all__ = ["FieldPlan", "ExecutionPlan", "CompiledGraph", "compile_graph"]
+
+logger = logging.getLogger(__name__)
+
+#: Accepted values of ``compile_graph``'s / ``Engine``'s ``check`` argument.
+CHECK_MODES = ("off", "warn", "strict")
 
 
 @dataclasses.dataclass
@@ -198,6 +209,8 @@ class CompiledGraph:
     plans: dict[int, ExecutionPlan]
     cost_context: CostContext
     memory_per_tile: dict[int, int]
+    #: Populated when compiled with ``check != "off"`` (C1–C4 findings).
+    check_report: "CheckReport | None" = None
 
     @property
     def spec(self) -> IPUSpec:
@@ -207,8 +220,21 @@ class CompiledGraph:
         return self.plans[compute_set.cs_id]
 
 
-def compile_graph(graph: ComputeGraph, program: Program) -> CompiledGraph:
+def compile_graph(
+    graph: ComputeGraph,
+    program: Program,
+    *,
+    check: Literal["off", "warn", "strict"] = "off",
+    check_config: "CheckConfig | None" = None,
+) -> CompiledGraph:
     """Validate ``graph`` + ``program`` and build execution plans.
+
+    ``check`` additionally runs the static BSP constraint checker
+    (:mod:`repro.check`) over the compiled program: ``"warn"`` logs every
+    finding, ``"strict"`` raises :class:`~repro.errors.ConstraintError` on
+    C1/C2 errors (lint warnings are still only logged).  The report is kept
+    on :attr:`CompiledGraph.check_report` either way.  ``check_config``
+    tunes headroom and lint thresholds.
 
     Raises
     ------
@@ -217,7 +243,13 @@ def compile_graph(graph: ComputeGraph, program: Program) -> CompiledGraph:
         overlapping write regions.
     TileMemoryError
         When mapped tensors exceed a tile's SRAM budget (C2).
+    ConstraintError
+        Under ``check="strict"`` when the checker finds C1/C2 violations.
     """
+    if check not in CHECK_MODES:
+        raise CompilationError(
+            f"unknown check mode {check!r}, expected one of {CHECK_MODES}"
+        )
     spec = graph.spec
     _check_tensors(graph)
     memory_per_tile = _check_memory(graph)
@@ -228,7 +260,18 @@ def compile_graph(graph: ComputeGraph, program: Program) -> CompiledGraph:
         _check_write_overlaps(compute_set)
         plans[compute_set.cs_id] = _build_plan(compute_set, spec)
     cost = CostContext(threads_per_tile=spec.threads_per_tile)
-    return CompiledGraph(graph, program, plans, cost, memory_per_tile)
+    check_report = None
+    if check != "off":
+        from repro.check.checker import check_graph as run_check
+
+        check_report = run_check(graph, program, check_config)
+        for diagnostic in check_report.diagnostics:
+            logger.warning("constraint check: %s", diagnostic.format())
+        if check == "strict":
+            check_report.raise_if_failed()
+    return CompiledGraph(
+        graph, program, plans, cost, memory_per_tile, check_report
+    )
 
 
 # ----------------------------------------------------------------------

@@ -58,6 +58,14 @@ class Engine:
         the constructor, so construction raises on invalid graphs.
     mode:
         ``"batched"`` or ``"per_tile"`` (see module docstring).
+    check:
+        ``"off"`` (default), ``"warn"`` or ``"strict"`` — whether the
+        static BSP constraint checker (:mod:`repro.check`) runs over the
+        compiled program.  ``"strict"`` makes C1/C2 violations a
+        construction-time :class:`~repro.errors.ConstraintError`; the
+        report is available as ``engine.compiled.check_report``.
+    check_config:
+        Optional :class:`repro.check.CheckConfig` tuning the checker.
     """
 
     def __init__(
@@ -66,10 +74,14 @@ class Engine:
         program: Program,
         *,
         mode: Literal["batched", "per_tile"] = "batched",
+        check: Literal["off", "warn", "strict"] = "off",
+        check_config=None,
     ) -> None:
         if mode not in ("batched", "per_tile"):
             raise ExecutionError(f"unknown engine mode {mode!r}")
-        self.compiled: CompiledGraph = compile_graph(graph, program)
+        self.compiled: CompiledGraph = compile_graph(
+            graph, program, check=check, check_config=check_config
+        )
         self.mode = mode
         #: Profilers reused (via reset) across runs, so repeated solves on
         #: a compiled graph pay no per-run construction; ``_profiler`` is only
@@ -222,13 +234,38 @@ class Engine:
     # Compute sets
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _invoke_codelet(codelet, views, params, cost, compute_set_name: str):
+        """Run one codelet batch, wrapping its faults with BSP context.
+
+        A codelet that raises (or returns something that cannot become a
+        float cycle array) would otherwise surface as a bare exception with
+        no indication of *which* superstep died; every failure here becomes
+        an :class:`ExecutionError` naming the compute set, with the original
+        exception chained as the cause.
+        """
+        try:
+            return np.asarray(
+                codelet.compute_all(views, params, cost), dtype=np.float64
+            )
+        except ExecutionError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"codelet {codelet.name} failed in compute set "
+                f"{compute_set_name!r}: {exc}"
+            ) from exc
+
     def _run_compute_set(self, plan: ExecutionPlan) -> None:
         cost = self.compiled.cost_context
         if plan.batched and self.mode == "batched":
             views, needs_scatter = plan.batch_views()
-            cycles = np.asarray(
-                plan.codelet.compute_all(views, plan.param_arrays, cost),
-                dtype=np.float64,
+            cycles = self._invoke_codelet(
+                plan.codelet,
+                views,
+                plan.param_arrays,
+                cost,
+                plan.compute_set.name,
             )
             if cycles.shape != (len(plan.compute_set.vertices),):
                 raise ExecutionError(
@@ -313,8 +350,8 @@ class Engine:
                 name: np.array([value], dtype=np.float64)
                 for name, value in vertex.params.items()
             }
-            vertex_cycles = np.asarray(
-                vertex.codelet.compute_all(views, params, cost), dtype=np.float64
+            vertex_cycles = self._invoke_codelet(
+                vertex.codelet, views, params, cost, plan.compute_set.name
             )
             if vertex_cycles.shape != (1,):
                 raise ExecutionError(

@@ -12,6 +12,7 @@ The cross-cutting layer every perf PR measures against (see
 
 from repro.obs.export import (
     BENCH_SCHEMA,
+    CHECK_SCHEMA,
     METRICS_SCHEMA,
     PROFILE_SCHEMA,
     TRACE_SCHEMA,
@@ -56,6 +57,7 @@ __all__ = [
     "METRICS_SCHEMA",
     "PROFILE_SCHEMA",
     "BENCH_SCHEMA",
+    "CHECK_SCHEMA",
     "to_jsonable",
     "trace_to_dict",
     "metrics_to_dict",

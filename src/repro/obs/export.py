@@ -11,6 +11,8 @@ schema                      produced by
 ``repro.profile/1``         :func:`profile_report_to_dict` (BSP cost report)
 ``repro.bench-run/1``       :func:`experiment_result_to_dict` /
                             :func:`write_bench_record` (``BENCH_*.json``)
+``repro.check/1``           :func:`repro.check.check_document` (static BSP
+                            constraint-check reports, C1–C4)
 ==========================  ====================================================
 
 Validation is hand-rolled (:func:`validate_document`) rather than a
@@ -36,6 +38,7 @@ __all__ = [
     "METRICS_SCHEMA",
     "PROFILE_SCHEMA",
     "BENCH_SCHEMA",
+    "CHECK_SCHEMA",
     "to_jsonable",
     "profile_report_to_dict",
     "profile_report_from_dict",
@@ -49,12 +52,14 @@ __all__ = [
     "validate_profile",
     "validate_metrics",
     "validate_bench_record",
+    "validate_check_document",
 ]
 
 TRACE_SCHEMA = "repro.trace/1"
 METRICS_SCHEMA = "repro.metrics/1"
 PROFILE_SCHEMA = "repro.profile/1"
 BENCH_SCHEMA = "repro.bench-run/1"
+CHECK_SCHEMA = "repro.check/1"
 
 
 class SchemaError(ValueError):
@@ -344,11 +349,58 @@ def validate_bench_record(document: Mapping[str, Any]) -> None:
         )
 
 
+def validate_check_document(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.check/1`` document."""
+    _require_keys(document, ("schema", "ok", "reports"), "check")
+    _require(
+        document["schema"] == CHECK_SCHEMA,
+        "check.schema",
+        f"expected {CHECK_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require(isinstance(document["reports"], list), "check.reports", "expected a list")
+    any_error = False
+    for index, report in enumerate(document["reports"]):
+        path = f"check.reports[{index}]"
+        _require_keys(
+            report,
+            ("label", "ok", "compute_sets_checked", "diagnostics"),
+            path,
+        )
+        _require(
+            isinstance(report["diagnostics"], list),
+            f"{path}.diagnostics",
+            "expected a list",
+        )
+        report_errors = 0
+        for d_index, diagnostic in enumerate(report["diagnostics"]):
+            d_path = f"{path}.diagnostics[{d_index}]"
+            _require_keys(diagnostic, ("code", "severity", "message"), d_path)
+            _require(
+                diagnostic["severity"] in ("error", "warning"),
+                f"{d_path}.severity",
+                f"unknown severity {diagnostic['severity']!r}",
+            )
+            if diagnostic["severity"] == "error":
+                report_errors += 1
+        _require(
+            bool(report["ok"]) == (report_errors == 0),
+            f"{path}.ok",
+            f"ok={report['ok']!r} but the report lists {report_errors} error(s)",
+        )
+        any_error = any_error or report_errors > 0
+    _require(
+        bool(document["ok"]) == (not any_error),
+        "check.ok",
+        "document ok flag disagrees with its reports",
+    )
+
+
 _VALIDATORS = {
     TRACE_SCHEMA: validate_trace,
     METRICS_SCHEMA: validate_metrics,
     PROFILE_SCHEMA: validate_profile,
     BENCH_SCHEMA: validate_bench_record,
+    CHECK_SCHEMA: validate_check_document,
 }
 
 

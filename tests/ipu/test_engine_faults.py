@@ -28,6 +28,15 @@ class _NonNumericCycles(Codelet):
         return np.array(["not", "cycles"])
 
 
+class _Raises(Codelet):
+    """Blows up mid-compute, like a buggy kernel would."""
+
+    fields = {"data": "inout"}
+
+    def compute_all(self, views, params, cost):
+        raise RuntimeError("boom")
+
+
 def _one_vertex_graph(toy_spec, codelet):
     graph = ComputeGraph(toy_spec)
     tensor = graph.add_tensor(
@@ -56,6 +65,17 @@ class TestCodeletContractEnforcement:
         engine = Engine(graph, program)
         with pytest.raises((ExecutionError, ValueError)):
             engine.run()
+
+    @pytest.mark.parametrize("mode", ["batched", "per_tile"])
+    def test_raising_codelet_wrapped_with_compute_set_name(self, toy_spec, mode):
+        """A codelet exception surfaces as ExecutionError naming the
+        codelet and compute set, with the original as __cause__."""
+        graph, program = _one_vertex_graph(toy_spec, _Raises())
+        engine = Engine(graph, program, mode=mode)
+        with pytest.raises(ExecutionError, match=r"_Raises.*'cs'") as excinfo:
+            engine.run()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "boom" in str(excinfo.value)
 
 
 class TestStatePollution:

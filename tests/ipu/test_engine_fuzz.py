@@ -117,6 +117,37 @@ def test_batched_equals_per_tile_on_random_graphs(
 
 @settings(max_examples=15, deadline=None)
 @given(
+    num_tiles=st.integers(2, 6),
+    segments=st.integers(1, 9),
+    segment_len=st.integers(1, 7),
+    cols=st.integers(1, 6),
+    values=st.lists(st.integers(-9, 9), min_size=1, max_size=4),
+    reduce_op=st.sampled_from(["min", "max", "sum"]),
+)
+def test_checker_accepts_both_modes(
+    num_tiles, segments, segment_len, cols, values, reduce_op
+):
+    """The constraint checker sees the same graph whichever engine mode
+    runs it: strict compilation succeeds in both modes and the diagnostic
+    lists are identical (mode is an execution strategy, not a graph
+    property)."""
+    reports = []
+    for mode in ("batched", "per_tile"):
+        graph, program, _ = _build_random_graph(
+            num_tiles, segments, segment_len, cols, values, reduce_op
+        )
+        engine = Engine(graph, program, mode=mode, check="strict")
+        reports.append(engine.compiled.check_report)
+    batched, per_tile = reports
+    assert batched is not None and per_tile is not None
+    assert batched.ok and per_tile.ok
+    assert batched.diagnostics == per_tile.diagnostics
+    assert batched.compute_sets_checked == per_tile.compute_sets_checked
+    assert batched.vertices_checked == per_tile.vertices_checked
+
+
+@settings(max_examples=15, deadline=None)
+@given(
     num_tiles=st.integers(2, 5),
     segments=st.integers(1, 6),
     segment_len=st.integers(1, 5),

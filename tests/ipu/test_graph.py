@@ -64,6 +64,24 @@ class TestConnections:
         with pytest.raises(GraphConstructionError):
             Connection(tensor, 2, 6)
 
+    def test_connection_negative_start(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (4,), np.int32)
+        with pytest.raises(GraphConstructionError, match="out of bounds"):
+            Connection(tensor, -1, 2)
+
+    def test_connection_empty_span(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (4,), np.int32)
+        with pytest.raises(GraphConstructionError, match="out of bounds"):
+            Connection(tensor, 2, 2)
+
+    def test_connection_inverted_span(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor("x", (4,), np.int32)
+        with pytest.raises(GraphConstructionError, match="out of bounds"):
+            Connection(tensor, 3, 1)
+
 
 class TestVertices:
     def test_field_signature_enforced(self, toy_spec):

@@ -1,0 +1,85 @@
+"""Metamorphic properties of the optimal assignment cost.
+
+These relations must hold for *any* correct LAP solver, with no oracle in
+the loop: transposing the matrix, permuting rows or columns, shifting every
+entry by a constant, or scaling by a positive factor transforms the optimal
+cost in a closed form.  Randomized over seeds and sizes with hypothesis;
+a single module-level solver reuses compiled graphs across examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solver import HunIPUSolver
+from repro.lap.problem import LAPInstance
+
+_SOLVER = HunIPUSolver()
+
+_sizes = st.integers(4, 10)
+_seeds = st.integers(0, 10_000)
+
+_REL = 1e-9
+
+
+def _costs(size: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(1.0, 100.0, (size, size))
+
+
+def _optimal(costs: np.ndarray) -> float:
+    return _SOLVER.solve(LAPInstance(costs)).total_cost
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=_sizes, seed=_seeds)
+def test_transpose_preserves_cost(size, seed):
+    costs = _costs(size, seed)
+    assert _optimal(costs.T.copy()) == pytest.approx(_optimal(costs), rel=_REL)
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=_sizes, seed=_seeds, perm_seed=_seeds)
+def test_row_permutation_preserves_cost(size, seed, perm_seed):
+    costs = _costs(size, seed)
+    perm = np.random.default_rng(perm_seed).permutation(size)
+    assert _optimal(costs[perm]) == pytest.approx(_optimal(costs), rel=_REL)
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=_sizes, seed=_seeds, perm_seed=_seeds)
+def test_column_permutation_preserves_cost(size, seed, perm_seed):
+    costs = _costs(size, seed)
+    perm = np.random.default_rng(perm_seed).permutation(size)
+    assert _optimal(costs[:, perm]) == pytest.approx(
+        _optimal(costs), rel=_REL
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=_sizes, seed=_seeds, shift=st.floats(-50.0, 50.0, width=32))
+def test_constant_shift_moves_cost_by_n_times_shift(size, seed, shift):
+    # Keep entries positive so the shifted matrix stays a valid instance.
+    costs = _costs(size, seed) + 60.0
+    expected = _optimal(costs) + size * float(shift)
+    assert _optimal(costs + shift) == pytest.approx(expected, rel=1e-7)
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=_sizes, seed=_seeds, scale=st.floats(0.25, 8.0, width=32))
+def test_positive_scaling_scales_cost(size, seed, scale):
+    costs = _costs(size, seed)
+    expected = float(scale) * _optimal(costs)
+    assert _optimal(costs * scale) == pytest.approx(expected, rel=1e-7)
+
+
+@settings(max_examples=8, deadline=None)
+@given(size=_sizes, seed=_seeds)
+def test_composed_transforms(size, seed):
+    """Transpose ∘ permutation ∘ scaling composes the individual relations."""
+    costs = _costs(size, seed)
+    perm = np.random.default_rng(seed + 1).permutation(size)
+    transformed = (2.0 * costs[perm]).T.copy()
+    assert _optimal(transformed) == pytest.approx(
+        2.0 * _optimal(costs), rel=1e-7
+    )

@@ -61,6 +61,29 @@ class TestCommands:
         assert "Table II" in capsys.readouterr().out
 
 
+class TestCheckCommand:
+    def test_check_defaults_parse(self):
+        args = build_parser().parse_args(["check"])
+        assert args.size is None
+        assert args.headroom == 0.0
+        assert not args.strict_warnings
+
+    def test_check_passes_on_solver_graphs(self, capsys, tmp_path):
+        report_path = tmp_path / "check.json"
+        assert main(["check", "--size", "8",
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "hunipu n=8 (compressed)" in out
+        assert "OK" in out
+        document = json.loads(report_path.read_text())
+        assert document["schema"] == "repro.check/1"
+        assert document["ok"] is True
+
+    def test_check_no_batch_skips_batch_path(self, capsys):
+        assert main(["check", "--size", "8", "--no-batch"]) == 0
+        assert "batch-path" not in capsys.readouterr().out
+
+
 class TestSolveBatch:
     @pytest.fixture()
     def batch_file(self, tmp_path, rng):
