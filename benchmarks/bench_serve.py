@@ -1,0 +1,29 @@
+"""Serving-layer benchmark: warm vs cold pools, open-loop load, faults."""
+
+from __future__ import annotations
+
+from repro.bench.serve import run_serve_bench
+from repro.serve import SolverService, generate_workload, run_load
+
+
+def test_serve_closed_loop_latency(benchmark):
+    """Micro-benchmark: 12 same-shape requests through a warm service."""
+    workload = generate_workload(12, seed=0, shapes=(8,), deadlines=((None, 1.0),))
+
+    def run():
+        with SolverService(workers=2, max_batch=4) as service:
+            return run_load(service, workload, mode="closed", verify=False)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.lost == 0
+    assert report.completed + sum(report.rejected.values()) == len(workload)
+
+
+def test_report_serve(benchmark, scale, save_report):
+    result = benchmark.pedantic(run_serve_bench, args=(scale,), rounds=1, iterations=1)
+    save_report("serve", result)
+    # The correctness notes must be OK; the warm-speedup note is timing and
+    # may read CHECK on a loaded CI box, so it is reported but not gated.
+    for note in result.shape_notes:
+        if "lost request" in note or "verification failure" in note:
+            assert "(OK)" in note, note

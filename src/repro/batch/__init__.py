@@ -12,6 +12,7 @@ from repro.batch.solver import (
     BatchResult,
     BatchSolver,
     GroupReport,
+    choose_target,
     pad_instance_costs,
 )
 
@@ -19,6 +20,7 @@ __all__ = [
     "BatchResult",
     "BatchSolver",
     "GroupReport",
+    "choose_target",
     "load_batch_file",
     "pad_instance_costs",
 ]

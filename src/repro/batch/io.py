@@ -17,6 +17,13 @@ rectangular inputs should go through
 :meth:`~repro.lap.problem.LAPInstance.from_rectangular` (or
 :func:`~repro.lap.rectangular.solve_rectangular`) first, where the padding
 policy is explicit.
+
+Every failure mode — corrupt archives, undecodable JSON, non-numeric or
+mixed-dtype entries, empty batches — raises
+:class:`~repro.errors.InvalidProblemError` naming the file (and entry)
+at fault, never a raw ``numpy``/``json`` exception: batch files are
+user-supplied input at the service boundary, and the serving layer's
+admission control turns these into typed rejections.
 """
 
 from __future__ import annotations
@@ -32,8 +39,13 @@ from repro.lap.problem import LAPInstance
 __all__ = ["load_batch_file"]
 
 
-def _instance(matrix: np.ndarray, name: str) -> LAPInstance:
-    matrix = np.asarray(matrix, dtype=np.float64)
+def _instance(matrix, name: str) -> LAPInstance:
+    try:
+        matrix = np.asarray(matrix, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise InvalidProblemError(
+            f"batch entry {name!r} is not a numeric matrix: {exc}"
+        ) from exc
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise InvalidProblemError(
             f"batch entry {name!r} has shape {matrix.shape}; batch files "
@@ -44,7 +56,14 @@ def _instance(matrix: np.ndarray, name: str) -> LAPInstance:
 
 
 def _load_npy(path: Path) -> list[LAPInstance]:
-    data = np.load(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (ValueError, OSError) as exc:
+        raise InvalidProblemError(f"{path}: not a readable .npy file: {exc}") from exc
+    if not (np.issubdtype(data.dtype, np.number) or data.dtype == np.bool_):
+        raise InvalidProblemError(
+            f"{path}: expected a numeric array, got dtype {data.dtype}"
+        )
     if data.ndim == 2:
         return [_instance(data, path.stem)]
     if data.ndim == 3:
@@ -59,12 +78,36 @@ def _load_npy(path: Path) -> list[LAPInstance]:
 
 
 def _load_npz(path: Path) -> list[LAPInstance]:
-    with np.load(path) as archive:
-        return [_instance(archive[key], key) for key in sorted(archive.files)]
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (ValueError, OSError) as exc:
+        raise InvalidProblemError(f"{path}: not a readable .npz file: {exc}") from exc
+    with archive:
+        instances = []
+        for key in sorted(archive.files):
+            try:
+                entry = archive[key]
+            except (ValueError, OSError) as exc:
+                raise InvalidProblemError(
+                    f"{path}: archive entry {key!r} is corrupt or uses an "
+                    f"unsupported encoding: {exc}"
+                ) from exc
+            if not (np.issubdtype(entry.dtype, np.number) or entry.dtype == np.bool_):
+                raise InvalidProblemError(
+                    f"{path}: archive entry {key!r} has non-numeric dtype "
+                    f"{entry.dtype}"
+                )
+            instances.append(_instance(entry, key))
+    return instances
 
 
 def _load_json(path: Path) -> list[LAPInstance]:
-    payload = json.loads(path.read_text())
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise InvalidProblemError(f"{path}: not valid JSON: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise InvalidProblemError(f"{path}: not a text file: {exc}") from exc
     if isinstance(payload, dict):
         payload = payload.get("instances")
         if payload is None:
@@ -83,27 +126,36 @@ def _load_json(path: Path) -> list[LAPInstance]:
                     f"{path}: instances[{index}] is missing 'costs'"
                 )
             name = str(entry.get("name", f"{path.stem}[{index}]"))
-            instances.append(_instance(np.asarray(entry["costs"]), name))
+            instances.append(_instance(entry["costs"], name))
         else:
-            instances.append(
-                _instance(np.asarray(entry), f"{path.stem}[{index}]")
-            )
+            instances.append(_instance(entry, f"{path.stem}[{index}]"))
     return instances
 
 
 def load_batch_file(path: str | Path) -> list[LAPInstance]:
-    """Load every instance from a ``.npy`` / ``.npz`` / ``.json`` batch file."""
+    """Load every instance from a ``.npy`` / ``.npz`` / ``.json`` batch file.
+
+    Raises
+    ------
+    InvalidProblemError
+        For unreadable/corrupt files, non-numeric or non-square entries,
+        unsupported suffixes, and batches that contain no instances at all.
+    """
     path = Path(path)
     if not path.exists():
         raise InvalidProblemError(f"batch file not found: {path}")
     suffix = path.suffix.lower()
     if suffix == ".npy":
-        return _load_npy(path)
-    if suffix == ".npz":
-        return _load_npz(path)
-    if suffix == ".json":
-        return _load_json(path)
-    raise InvalidProblemError(
-        f"unsupported batch file suffix {suffix!r} for {path}; "
-        "expected .npy, .npz, or .json"
-    )
+        instances = _load_npy(path)
+    elif suffix == ".npz":
+        instances = _load_npz(path)
+    elif suffix == ".json":
+        instances = _load_json(path)
+    else:
+        raise InvalidProblemError(
+            f"unsupported batch file suffix {suffix!r} for {path}; "
+            "expected .npy, .npz, or .json"
+        )
+    if not instances:
+        raise InvalidProblemError(f"{path}: batch file contains no instances")
+    return instances

@@ -38,7 +38,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 from time import perf_counter
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -50,9 +50,45 @@ from repro.lap.result import AssignmentResult
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.timing import wall_timer
 
-__all__ = ["BatchSolver", "BatchResult", "GroupReport", "pad_instance_costs"]
+__all__ = [
+    "BatchSolver",
+    "BatchResult",
+    "GroupReport",
+    "choose_target",
+    "pad_instance_costs",
+]
 
 logger = logging.getLogger(__name__)
+
+
+def choose_target(
+    size: int,
+    *,
+    cached: frozenset[int] | set[int],
+    counts: Mapping[int, int] | None = None,
+    pad_limit: float = 1.25,
+) -> int:
+    """The solved size an instance of ``size`` should ride.
+
+    Shared padding policy of the batch engine and the serving layer's warm
+    engine pool: pad up to the smallest target ``t`` with ``size < t <=
+    size * pad_limit`` that either already has a compiled graph (``cached``)
+    or occurs more often in the current stream (``counts``) than ``size``
+    does — both cases where reusing an existing/shared binary beats
+    compiling a new one.  Sizes that are themselves cached never pad.
+    """
+    if size in cached:
+        return size
+    counts = counts if counts is not None else {}
+    limit = size * pad_limit
+    candidates = sorted(cached | set(counts))
+    own_count = counts.get(size, 0)
+    for candidate in candidates:
+        if candidate <= size or candidate > limit:
+            continue
+        if candidate in cached or counts.get(candidate, 0) > own_count:
+            return candidate
+    return size
 
 
 def pad_instance_costs(costs: np.ndarray, target: int) -> np.ndarray:
@@ -254,20 +290,15 @@ class BatchSolver:
         for instance in items:
             counts[instance.size] = counts.get(instance.size, 0) + 1
         cached = set(getattr(self.solver, "_compiled", ()) or ())
-        candidates = sorted(cached | set(counts))
 
         targets: dict[int, int] = {}
         for size in counts:
-            targets[size] = size
-            if not self.pad_to_cached or size in cached:
-                continue
-            limit = size * self.pad_limit
-            for candidate in candidates:
-                if candidate <= size or candidate > limit:
-                    continue
-                if candidate in cached or counts.get(candidate, 0) > counts[size]:
-                    targets[size] = candidate
-                    break
+            if not self.pad_to_cached:
+                targets[size] = size
+            else:
+                targets[size] = choose_target(
+                    size, cached=cached, counts=counts, pad_limit=self.pad_limit
+                )
 
         groups: dict[int, list[tuple[int, LAPInstance]]] = {}
         for index, instance in enumerate(items):

@@ -10,6 +10,7 @@ from repro.bench.recording import (
     environment_summary,
     save_bench_json,
 )
+from repro.bench.serve import run_serve_bench
 from repro.bench.table1 import run_table1
 from repro.bench.table2 import run_table2
 from repro.bench.table3 import run_table3
@@ -25,6 +26,7 @@ __all__ = [
     "RunRecord",
     "environment_summary",
     "save_bench_json",
+    "run_serve_bench",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -1,0 +1,204 @@
+"""Serving benchmark — warm-pool speedup, concurrency, and fault tolerance.
+
+Three legs, all driven by the seeded load generator
+(:mod:`repro.serve.loadgen`) against a live :class:`repro.serve.SolverService`:
+
+* **cold vs warm** — the same closed-loop workload against a pool with a
+  zero memory budget (every release evicts, so every engine lease pays a
+  fresh graph compilation) and against a pre-warmed pool.  The per-request
+  latency gap is the compile amortization the warm pool buys — the serving
+  analogue of the paper's compile-once-per-shape observation.
+* **open loop** — fixed-rate arrivals against a bounded queue, measuring
+  tail latency under load and how much traffic admission control sheds.
+* **fault injection** — a seeded flaky engine behind the warm pool; the leg
+  verifies the degradation ladder serves every request correctly while
+  counting retries and fallbacks.
+
+Every leg re-verifies all completed responses against scipy and asserts the
+zero-lost accounting; the notes flag OK/CHECK on the acceptance criteria
+(warm faster than cold, nothing lost, 100% verified).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, format_grid
+from repro.bench.recording import BenchScale, RunRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    SolverService,
+    WarmEnginePool,
+    flaky_factory,
+    generate_workload,
+    run_load,
+)
+
+__all__ = ["run_serve_bench"]
+
+#: (requests, workers, shapes, open-loop rate rps, fault rate) per scale.
+_GRID = {
+    "quick": (24, 2, (8, 8, 12), 120.0, 0.2),
+    "default": (120, 4, (8, 8, 8, 12, 16, 16, 24, 32), 200.0, 0.1),
+    "paper": (400, 8, (8, 8, 8, 12, 16, 16, 24, 32, 48, 64), 300.0, 0.08),
+}
+
+
+def _run_leg(
+    *,
+    requests: int,
+    workers: int,
+    shapes,
+    seed: int,
+    mode: str = "closed",
+    rate: float | None = None,
+    memory_budget_bytes: int | None = None,
+    warm_shapes=None,
+    solver_factory=None,
+    deadlines=((None, 1.0),),
+):
+    """One service lifecycle: build, load, tear down; returns (report, doc)."""
+    metrics = MetricsRegistry()
+    pool_kwargs = {"metrics": metrics}
+    if memory_budget_bytes is not None:
+        pool_kwargs["memory_budget_bytes"] = memory_budget_bytes
+    pool = WarmEnginePool(solver_factory, **pool_kwargs)
+    if warm_shapes:
+        pool.warm(warm_shapes)
+    service = SolverService(workers=workers, queue_capacity=256, pool=pool, metrics=metrics)
+    try:
+        workload = generate_workload(
+            requests, seed=seed, shapes=shapes, deadlines=deadlines
+        )
+        report = run_load(
+            service,
+            workload,
+            mode=mode,
+            concurrency=workers * 2,
+            rate=rate,
+            verify=True,
+        )
+    finally:
+        service.close()
+    return report, service.stats_document()
+
+
+def run_serve_bench(
+    scale: BenchScale | None = None, *, seed: int = 0
+) -> ExperimentResult:
+    """Benchmark the serving layer at the given scale."""
+    scale = scale if scale is not None else BenchScale.from_env()
+    requests, workers, shapes, rate, fault_rate = _GRID[scale.name]
+    unique_shapes = sorted(set(shapes))
+
+    # Leg 1a: cold path — zero retention, every lease recompiles.
+    cold_report, cold_doc = _run_leg(
+        requests=requests,
+        workers=workers,
+        shapes=shapes,
+        seed=seed,
+        memory_budget_bytes=0,
+    )
+    # Leg 1b: warm path — pre-warmed pool, default budget.
+    warm_report, warm_doc = _run_leg(
+        requests=requests,
+        workers=workers,
+        shapes=shapes,
+        seed=seed,
+        warm_shapes=unique_shapes,
+    )
+    # Leg 2: open loop at a fixed arrival rate (tail latency + shedding).
+    open_report, open_doc = _run_leg(
+        requests=requests,
+        workers=workers,
+        shapes=shapes,
+        seed=seed + 1,
+        mode="open",
+        rate=rate,
+    )
+    # Leg 3: fault injection through the degradation ladder.
+    fault_report, fault_doc = _run_leg(
+        requests=requests,
+        workers=workers,
+        shapes=shapes,
+        seed=seed + 2,
+        warm_shapes=unique_shapes,
+        solver_factory=flaky_factory(fault_rate, seed=seed),
+    )
+
+    def record(name: str, report, doc, extra=None) -> RunRecord:
+        return RunRecord(
+            "serve",
+            name,
+            {"requests": report.submitted, "workers": workers},
+            0.0,
+            report.wall_seconds,
+            extra={
+                **report.summary(),
+                "pool": doc["pool"],
+                "fallbacks": doc["fallbacks"],
+                **(extra or {}),
+            },
+        )
+
+    speedup = (
+        cold_report.latency["p50"] / warm_report.latency["p50"]
+        if warm_report.latency["p50"] > 0
+        else 0.0
+    )
+    records = (
+        record("cold-pool", cold_report, cold_doc),
+        record(
+            "warm-pool",
+            warm_report,
+            warm_doc,
+            {"p50_speedup_vs_cold": speedup},
+        ),
+        record("open-loop", open_report, open_doc),
+        record("fault-injection", fault_report, fault_doc),
+    )
+
+    columns = ["p50 ms", "p95 ms", "p99 ms", "req/s", "degraded", "lost"]
+    cells = {}
+    for name, report in (
+        ("cold", cold_report),
+        ("warm", warm_report),
+        ("open", open_report),
+        ("faulty", fault_report),
+    ):
+        cells[(name, "p50 ms")] = report.latency["p50"] * 1e3
+        cells[(name, "p95 ms")] = report.latency["p95"] * 1e3
+        cells[(name, "p99 ms")] = report.latency["p99"] * 1e3
+        cells[(name, "req/s")] = report.throughput
+        cells[(name, "degraded")] = report.degraded
+        cells[(name, "lost")] = report.lost
+    table = format_grid(
+        f"Serving: {requests} requests, {workers} workers, "
+        f"shapes {unique_shapes} (closed loop unless noted; open loop at "
+        f"{rate:.0f} req/s; faults at {fault_rate:.0%})",
+        ["cold", "warm", "open", "faulty"],
+        columns,
+        cells,
+        row_header="leg",
+    )
+
+    all_reports = (cold_report, warm_report, open_report, fault_report)
+    lost = sum(r.lost for r in all_reports)
+    unverified = sum(r.verify_failures for r in all_reports)
+    fault_fallbacks = (
+        fault_doc["fallbacks"]["engine_error"] + fault_doc["fallbacks"]["retries"]
+    )
+    notes = (
+        f"warm pool p50 {speedup:.1f}x lower than cold compiles "
+        f"({'OK' if speedup > 1.0 else 'CHECK'})",
+        f"all legs: {lost} lost request(s) across "
+        f"{sum(r.submitted for r in all_reports)} submitted "
+        f"({'OK' if lost == 0 else 'CHECK'})",
+        f"all legs: {unverified} scipy verification failure(s) "
+        f"({'OK' if unverified == 0 else 'CHECK'})",
+        f"fault leg exercised the degradation path: "
+        f"{fault_doc['fallbacks']['retries']} retried, "
+        f"{fault_doc['fallbacks']['engine_error']} fell back "
+        f"({'OK' if fault_fallbacks > 0 else 'CHECK'})",
+        f"open loop shed {sum(open_report.rejected.values())} request(s) "
+        f"via typed admission rejects",
+    )
+    return ExperimentResult("serve", scale.name, records, (table,), notes)

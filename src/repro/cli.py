@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows without writing any code:
+Six commands cover the common workflows without writing any code:
 
 * ``info`` — the simulated device specs and library version;
 * ``solve`` — solve one synthetic instance with any solver and print the
@@ -17,7 +17,13 @@ Five commands cover the common workflows without writing any code:
   steps, compression on/off, the batch path) against the paper's four IPU
   constraints (C1 races, C2 tile memory, C3 balance, C4 dynamic ops) and
   optionally write a schema-versioned ``repro.check/1`` report; exits
-  non-zero on any C1/C2 error, which is what the CI gate keys on.
+  non-zero on any C1/C2 error, which is what the CI gate keys on;
+* ``serve`` — boot the concurrent :class:`repro.serve.SolverService`, drive
+  it with a seeded synthetic workload (mixed shapes/tiers/deadlines,
+  optional fault injection), verify every response against scipy, and
+  optionally write schema-versioned ``repro.serve/1`` stats; exits non-zero
+  if any request is lost or unverified, which is what the serve smoke CI
+  job keys on.
 
 Every command accepts ``--log-level`` / ``-v`` (logs go to stderr, so
 stdout stays machine-readable).
@@ -37,7 +43,9 @@ __all__ = ["main", "build_parser"]
 
 logger = logging.getLogger(__name__)
 
-_EXPERIMENTS = ("table1", "table2", "figure5", "table3", "ablations", "batch")
+_EXPERIMENTS = (
+    "table1", "table2", "figure5", "table3", "ablations", "batch", "serve"
+)
 _SOLVERS = ("hunipu", "cpu", "fastha", "date-nagi", "lapjv", "scipy")
 _LOG_LEVELS = ("debug", "info", "warning", "error")
 
@@ -180,6 +188,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero on lint warnings (C3/C4) too, not just errors",
     )
     _add_logging_args(check)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the solving service and drive it with synthetic load",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200, help="workload size"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="micro-batch coalescing ceiling"
+    )
+    serve.add_argument(
+        "--shapes",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="matrix size in the workload mix (repeatable; default: a "
+        "small/medium mix)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed loop (submit-on-completion) or open loop (fixed rate)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="open-loop arrival rate in requests/s",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="closed-loop client threads (default: 2x workers)",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="seeded engine-fault probability per run (exercises the "
+        "degradation ladder)",
+    )
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="warm-pool idle memory budget (0 disables engine reuse)",
+    )
+    serve.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip pre-compiling the workload shapes before the run",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check every completed response against the scipy optimum",
+    )
+    serve.add_argument(
+        "--expect-fallbacks",
+        action="store_true",
+        help="exit non-zero unless the degradation path was exercised "
+        "(use with --inject-faults)",
+    )
+    serve.add_argument(
+        "--stats",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="write the schema-versioned repro.serve/1 stats document",
+    )
+    _add_logging_args(serve)
     return parser
 
 
@@ -386,6 +474,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_ablations,
         run_batch_bench,
         run_figure5,
+        run_serve_bench,
         run_table1,
         run_table2,
         run_table3,
@@ -405,6 +494,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "table3": lambda: run_table3(scale),
         "ablations": lambda: run_ablations(scale),
         "batch": lambda: run_batch_bench(scale),
+        "serve": lambda: run_serve_bench(scale),
     }
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     written: list[pathlib.Path] = []
@@ -478,6 +568,112 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import validate_document, write_json
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve import (
+        SolverService,
+        WarmEnginePool,
+        flaky_factory,
+        generate_workload,
+        run_load,
+    )
+    from repro.serve.loadgen import DEFAULT_SHAPES
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.inject_faults <= 1.0:
+        print("error: --inject-faults must be in [0, 1]", file=sys.stderr)
+        return 2
+
+    shapes = tuple(args.shapes) if args.shapes else DEFAULT_SHAPES
+    metrics = MetricsRegistry()
+    factory = (
+        flaky_factory(args.inject_faults, seed=args.seed)
+        if args.inject_faults > 0
+        else None
+    )
+    pool_kwargs = {"metrics": metrics}
+    if args.memory_budget is not None:
+        pool_kwargs["memory_budget_bytes"] = args.memory_budget
+    pool = WarmEnginePool(factory, **pool_kwargs)
+    if not args.no_warm:
+        pool.warm(sorted(set(shapes)))
+    service = SolverService(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        pool=pool,
+        metrics=metrics,
+    )
+    try:
+        workload = generate_workload(args.requests, seed=args.seed, shapes=shapes)
+        report = run_load(
+            service,
+            workload,
+            mode=args.mode,
+            concurrency=(
+                args.concurrency if args.concurrency else args.workers * 2
+            ),
+            rate=args.rate,
+            verify=args.verify,
+        )
+    finally:
+        service.close()
+    document = service.stats_document(
+        meta={"seed": args.seed, "mode": args.mode, "shapes": sorted(set(shapes))}
+    )
+    validate_document(document)
+
+    summary = report.summary()
+    print(f"workload      : {report.submitted} requests, seed {args.seed}, "
+          f"{args.mode} loop, shapes {sorted(set(shapes))}")
+    print(f"completed     : {report.completed} "
+          f"({report.throughput:.1f} req/s over {report.wall_seconds:.3f} s)")
+    print(f"rejected      : {sum(report.rejected.values())} {report.rejected}")
+    print(f"degraded      : {report.degraded} "
+          f"(fallbacks {document['fallbacks']})")
+    print(f"lost          : {report.lost}")
+    latency = summary["latency_seconds"]
+    print(
+        f"latency       : p50 {latency['p50'] * 1e3:.2f} ms, "
+        f"p95 {latency['p95'] * 1e3:.2f} ms, p99 {latency['p99'] * 1e3:.2f} ms"
+    )
+    pool_stats = document["pool"]
+    print(
+        f"warm pool     : {pool_stats['hits']} hits, "
+        f"{pool_stats['misses']} misses, {pool_stats['evictions']} evictions"
+    )
+    if args.verify:
+        verdict = "all optimal" if report.verify_failures == 0 else (
+            f"{report.verify_failures} MISMATCH(ES)"
+        )
+        print(f"verification  : {report.completed} checked against scipy, {verdict}")
+    if args.stats is not None:
+        path = write_json(args.stats, document)
+        print(f"stats written : {path}")
+
+    failures = []
+    if report.lost > 0:
+        failures.append(f"{report.lost} request(s) lost without a response")
+    if report.verify_failures > 0:
+        failures.append(
+            f"{report.verify_failures} response(s) failed scipy verification"
+        )
+    fallbacks = document["fallbacks"]
+    if (
+        args.expect_fallbacks
+        and fallbacks["engine_error"] + fallbacks["retries"] == 0
+    ):
+        failures.append(
+            "degradation path never exercised (expected with --expect-fallbacks)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.obs.logging_setup import setup_logging
@@ -496,6 +692,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -65,6 +65,9 @@ class FieldPlan:
     _cached_view: np.ndarray | None = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    _cached_version: int = dataclasses.field(
+        default=-1, repr=False, compare=False
+    )
 
     @property
     def aliases_memory(self) -> bool:
@@ -74,14 +77,21 @@ class FieldPlan:
     def gather(self) -> np.ndarray:
         """Materialize the ``(num_vertices, length)`` batch view.
 
-        Aliasing views (contiguous/broadcast) are built once and cached —
-        the tensor's buffer never reallocates, so the view stays valid.
+        Aliasing views (contiguous/broadcast) are built once and cached,
+        keyed on :attr:`Tensor.version`: in-place writes keep the view
+        valid, but rebinding the tensor's buffer to a new array bumps the
+        version and forces a rebuild — a stale view would otherwise keep
+        reading (and writing) the orphaned old buffer.
         """
-        if self._cached_view is not None:
+        if (
+            self._cached_view is not None
+            and self._cached_version == self.tensor.version
+        ):
             return self._cached_view
         view = self._build_view()
         if self.aliases_memory:
             self._cached_view = view
+            self._cached_version = self.tensor.version
         return view
 
     def _build_view(self) -> np.ndarray:
@@ -152,11 +162,18 @@ class ExecutionPlan:
         """Gather all field views; second element tells whether any field
         needs a scatter-back after compute (i.e. was copied, not aliased).
 
-        When every field aliases tensor memory the whole dict is cached —
-        repeated executions of the same compute set then cost no allocation.
+        When every field aliases tensor memory the whole dict is cached,
+        keyed on the participating tensors' buffer versions — rebinding any
+        tensor's buffer (:attr:`repro.ipu.tensor.Tensor.version`) drops the
+        cache so repeated executions never read a stale view.  Steady-state
+        runs (no rebinds) still cost no allocation.
         """
+        versions = tuple(
+            field_plan.tensor.version
+            for field_plan in self.field_plans.values()
+        )
         cached = getattr(self, "_cached_batch", None)
-        if cached is not None:
+        if cached is not None and getattr(self, "_cached_batch_versions", None) == versions:
             return cached, False
         views = {
             field: field_plan.gather()
@@ -168,6 +185,7 @@ class ExecutionPlan:
         )
         if not needs_scatter:
             self._cached_batch = views
+            self._cached_batch_versions = versions
         return views, needs_scatter
 
     def tile_compute_cycles(self, vertex_cycles: np.ndarray, spec: IPUSpec) -> float:

@@ -44,6 +44,17 @@ class Tensor:
     mapping: TileMapping | None = None
     graph_id: int = -1
     data: np.ndarray = dataclasses.field(init=False, repr=False)
+    #: Buffer generation: bumped every time ``data`` is **rebound** to a new
+    #: array object (in-place writes through views don't count).  Execution
+    #: plans key their cached zero-copy views on this, so a rebind — e.g. a
+    #: serving layer swapping in a staging buffer — invalidates stale views
+    #: instead of silently reading the orphaned old buffer.
+    version: int = dataclasses.field(default=0, init=False, repr=False)
+
+    def __setattr__(self, attr: str, value) -> None:
+        if attr == "data" and "data" in self.__dict__:
+            object.__setattr__(self, "version", self.version + 1)
+        object.__setattr__(self, attr, value)
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -15,6 +15,7 @@ from repro.obs.export import (
     CHECK_SCHEMA,
     METRICS_SCHEMA,
     PROFILE_SCHEMA,
+    SERVE_SCHEMA,
     TRACE_SCHEMA,
     SchemaError,
     experiment_result_to_dict,
@@ -58,6 +59,7 @@ __all__ = [
     "PROFILE_SCHEMA",
     "BENCH_SCHEMA",
     "CHECK_SCHEMA",
+    "SERVE_SCHEMA",
     "to_jsonable",
     "trace_to_dict",
     "metrics_to_dict",

@@ -13,6 +13,9 @@ schema                      produced by
                             :func:`write_bench_record` (``BENCH_*.json``)
 ``repro.check/1``           :func:`repro.check.check_document` (static BSP
                             constraint-check reports, C1–C4)
+``repro.serve/1``           :meth:`repro.serve.SolverService.stats_document`
+                            (serving-layer request accounting, latency
+                            percentiles, pool/fallback counters)
 ==========================  ====================================================
 
 Validation is hand-rolled (:func:`validate_document`) rather than a
@@ -39,6 +42,7 @@ __all__ = [
     "PROFILE_SCHEMA",
     "BENCH_SCHEMA",
     "CHECK_SCHEMA",
+    "SERVE_SCHEMA",
     "to_jsonable",
     "profile_report_to_dict",
     "profile_report_from_dict",
@@ -53,6 +57,7 @@ __all__ = [
     "validate_metrics",
     "validate_bench_record",
     "validate_check_document",
+    "validate_serve_stats",
 ]
 
 TRACE_SCHEMA = "repro.trace/1"
@@ -60,6 +65,7 @@ METRICS_SCHEMA = "repro.metrics/1"
 PROFILE_SCHEMA = "repro.profile/1"
 BENCH_SCHEMA = "repro.bench-run/1"
 CHECK_SCHEMA = "repro.check/1"
+SERVE_SCHEMA = "repro.serve/1"
 
 
 class SchemaError(ValueError):
@@ -395,12 +401,91 @@ def validate_check_document(document: Mapping[str, Any]) -> None:
     )
 
 
+def validate_serve_stats(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.serve/1`` document.
+
+    Beyond key presence, this enforces the serving layer's accounting
+    invariant: every submitted request is either completed, rejected with a
+    typed reason, or still in flight — nothing is lost — and completed
+    requests are fully attributed to backends.
+    """
+    _require_keys(
+        document,
+        ("schema", "meta", "requests", "latency_seconds", "backends",
+         "fallbacks", "pool"),
+        "serve",
+    )
+    _require(
+        document["schema"] == SERVE_SCHEMA,
+        "serve.schema",
+        f"expected {SERVE_SCHEMA!r}, got {document['schema']!r}",
+    )
+    requests = document["requests"]
+    _require_keys(
+        requests,
+        ("submitted", "completed", "degraded", "rejected", "in_flight"),
+        "serve.requests",
+    )
+    rejected = requests["rejected"]
+    _require(
+        isinstance(rejected, Mapping), "serve.requests.rejected", "expected an object"
+    )
+    for reason, count in rejected.items():
+        _require(
+            isinstance(count, int) and count >= 0,
+            f"serve.requests.rejected.{reason}",
+            f"expected a non-negative integer, got {count!r}",
+        )
+    accounted = (
+        int(requests["completed"])
+        + sum(int(count) for count in rejected.values())
+        + int(requests["in_flight"])
+    )
+    _require(
+        int(requests["submitted"]) == accounted,
+        "serve.requests",
+        f"submitted={requests['submitted']} but completed+rejected+in_flight"
+        f"={accounted}; requests were lost or double-counted",
+    )
+    _require(
+        int(requests["degraded"]) <= int(requests["completed"]),
+        "serve.requests.degraded",
+        "more degraded requests than completed ones",
+    )
+    backends = document["backends"]
+    _require(
+        isinstance(backends, Mapping), "serve.backends", "expected an object"
+    )
+    served = sum(int(count) for count in backends.values())
+    _require(
+        served == int(requests["completed"]),
+        "serve.backends",
+        f"backends account for {served} requests, "
+        f"completed says {requests['completed']}",
+    )
+    _require_keys(
+        document["latency_seconds"],
+        ("count", "p50", "p95", "p99"),
+        "serve.latency_seconds",
+    )
+    _require_keys(
+        document["pool"],
+        ("hits", "misses", "evictions", "resident_bytes", "shapes"),
+        "serve.pool",
+    )
+    _require_keys(
+        document["fallbacks"], ("engine_error", "deadline", "retries"),
+        "serve.fallbacks",
+    )
+
+
 _VALIDATORS = {
     TRACE_SCHEMA: validate_trace,
     METRICS_SCHEMA: validate_metrics,
     PROFILE_SCHEMA: validate_profile,
     BENCH_SCHEMA: validate_bench_record,
     CHECK_SCHEMA: validate_check_document,
+    SERVE_SCHEMA: validate_serve_stats,
 }
 
 

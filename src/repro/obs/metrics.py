@@ -9,13 +9,19 @@ instruments (exchange-byte histograms, tile-imbalance histograms) are only
 fed when a run is explicitly instrumented, keeping the uninstrumented hot
 path free of bookkeeping.
 
-Instruments are plain Python (no locks): the simulator is single-threaded
-per solve, and benchmark harnesses own their registries.
+Instruments and the registry are **thread-safe**: the serving layer
+(:mod:`repro.serve`) drives many solver workers concurrently and they all
+feed shared registries, so every mutation — ``inc``/``set``/``observe`` and
+get-or-create registration — takes a small per-object lock.  Reads of a
+single counter/gauge value are plain attribute reads (atomic in CPython);
+:meth:`MetricsRegistry.snapshot` locks each instrument while serializing it
+so multi-field instruments (histograms) export a consistent view.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Iterable
 
 __all__ = [
@@ -38,14 +44,19 @@ class Counter:
     name: str
     help: str = ""
     value: float = 0.0
+    _lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "counter", "help": self.help, "value": self.value}
+        with self._lock:
+            return {"type": "counter", "help": self.help, "value": self.value}
 
 
 @dataclasses.dataclass
@@ -55,12 +66,22 @@ class Gauge:
     name: str
     help: str = ""
     value: float = 0.0
+    _lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Atomic read-modify-write delta (queue depths, in-flight counts)."""
+        with self._lock:
+            self.value += float(amount)
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "gauge", "help": self.help, "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "help": self.help, "value": self.value}
 
 
 class Histogram:
@@ -89,18 +110,20 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._raw_counts[index] += 1
-                return
-        self._raw_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._raw_counts[index] += 1
+                    return
+            self._raw_counts[-1] += 1
 
     @property
     def bucket_counts(self) -> tuple[int, ...]:
@@ -117,17 +140,18 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def to_dict(self) -> dict[str, Any]:
-        return {
-            "type": "histogram",
-            "help": self.help,
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "buckets": list(self.buckets),
-            "bucket_counts": list(self.bucket_counts),
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "help": self.help,
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.sum / self.count if self.count else 0.0,
+                "buckets": list(self.buckets),
+                "bucket_counts": list(self.bucket_counts),
+            }
 
 
 class MetricsRegistry:
@@ -135,23 +159,27 @@ class MetricsRegistry:
 
     Re-registering an existing name returns the existing instrument (so
     modules can register lazily without coordination); registering the same
-    name as a different instrument type is an error.
+    name as a different instrument type is an error.  Registration and
+    snapshotting are thread-safe; concurrent get-or-create calls for the
+    same name return the same instrument.
     """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory, kind) -> Any:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
-            raise ValueError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {kind.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(name, lambda: Counter(name, help), Counter)
@@ -170,7 +198,9 @@ class MetricsRegistry:
         return name in self._instruments
 
     def __iter__(self):
-        return iter(self._instruments.items())
+        with self._lock:
+            items = list(self._instruments.items())
+        return iter(items)
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -180,14 +210,14 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """JSON-ready view of every instrument (sorted by name)."""
-        return {
-            name: instrument.to_dict()
-            for name, instrument in sorted(self._instruments.items())
-        }
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.to_dict() for name, instrument in items}
 
     def reset(self) -> None:
         """Drop all instruments (tests and fresh benchmark runs)."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
 
 _DEFAULT = MetricsRegistry()

@@ -1,0 +1,63 @@
+"""repro.serve — concurrent assignment-solving service.
+
+The serving layer turns the repo's solvers into one concurrent,
+deadline-aware endpoint:
+
+* :class:`SolverService` — worker pool + bounded admission queue with typed
+  backpressure; every submitted request terminates completed or
+  typed-rejected, never lost.
+* :class:`WarmEnginePool` — per-shape compiled engines leased to workers,
+  LRU-evicted under a device-memory budget.
+* :class:`Router` / :class:`LatencyEstimator` — quality tiers, deadline-aware
+  preemptive degradation, and the engine → FastHA → scipy fallback ladder.
+* :mod:`repro.serve.loadgen` — seeded open/closed-loop load generation with
+  independent scipy verification.
+* :mod:`repro.serve.faults` — deterministic engine-fault injection for
+  exercising the degradation path.
+
+See ``docs/serving.md`` for the architecture walkthrough.
+"""
+
+from repro.serve.faults import FlakyEngineSolver, flaky_factory
+from repro.serve.loadgen import (
+    LoadReport,
+    WorkItem,
+    generate_workload,
+    run_load,
+)
+from repro.serve.pool import DEFAULT_MEMORY_BUDGET, EngineLease, WarmEnginePool
+from repro.serve.request import (
+    QUALITY_TIERS,
+    REJECT_CODES,
+    RejectReason,
+    SolveRequest,
+    SolveResponse,
+    Ticket,
+)
+from repro.serve.router import LatencyEstimator, RoutePlan, Router
+from repro.serve.service import SolverService
+from repro.serve.stats import latency_summary, percentile
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "EngineLease",
+    "FlakyEngineSolver",
+    "LatencyEstimator",
+    "LoadReport",
+    "QUALITY_TIERS",
+    "REJECT_CODES",
+    "RejectReason",
+    "RoutePlan",
+    "Router",
+    "SolveRequest",
+    "SolveResponse",
+    "SolverService",
+    "Ticket",
+    "WarmEnginePool",
+    "WorkItem",
+    "flaky_factory",
+    "generate_workload",
+    "latency_summary",
+    "percentile",
+    "run_load",
+]

@@ -1,0 +1,109 @@
+"""Deterministic engine-fault injection for the serving layer.
+
+The degradation ladder (engine → FastHA → scipy) is only trustworthy if it
+is exercised: :class:`FlakyEngineSolver` is a :class:`HunIPUSolver` whose
+engine runs fail with :class:`~repro.errors.ExecutionError` at a seeded,
+reproducible rate.  It is what the serve CI smoke job, the fault-injection
+leg of ``bench/serve.py``, and the router tests plug into the warm pool via
+its ``solver_factory`` hook — the production code path is identical, only
+the engine misbehaves.
+
+Failures are decided per engine *run*, so a request retried after a fault
+re-rolls; with ``failures_before_success`` the first N runs of every solver
+instance fail deterministically (handy for asserting the retry-then-recover
+path without probabilistic rates).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.solver import HunIPUSolver
+from repro.errors import ExecutionError
+
+__all__ = ["FlakyEngineSolver", "flaky_factory"]
+
+
+class FlakyEngineSolver(HunIPUSolver):
+    """HunIPU solver whose engine runs fail at a seeded rate.
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability in ``[0, 1]`` that any engine run raises
+        :class:`ExecutionError` (drawn from a private seeded generator, so
+        a given seed yields the same fault schedule every run).
+    failures_before_success:
+        Deterministic alternative: the first N runs fail, the rest succeed.
+        Applied in addition to ``failure_rate``.
+    seed:
+        Seed of the fault schedule.
+    """
+
+    name = "hunipu"  # responses attribute results to the real backend
+
+    def __init__(
+        self,
+        *args,
+        failure_rate: float = 0.0,
+        failures_before_success: int = 0,
+        seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        self.failure_rate = float(failure_rate)
+        self.failures_before_success = int(failures_before_success)
+        self._fault_rng = np.random.default_rng(seed)
+        self._fault_lock = threading.Lock()
+        self._runs = 0
+        self.faults_injected = 0
+
+    def _run_engine(self, compiled, instance, **kwargs):
+        with self._fault_lock:
+            self._runs += 1
+            fail = self._runs <= self.failures_before_success or (
+                self.failure_rate > 0.0
+                and self._fault_rng.random() < self.failure_rate
+            )
+            if fail:
+                self.faults_injected += 1
+        if fail:
+            raise ExecutionError(
+                f"injected engine fault (run {self._runs}, "
+                f"n={instance.size}, instance {instance.name!r})"
+            )
+        return super()._run_engine(compiled, instance, **kwargs)
+
+
+def flaky_factory(
+    failure_rate: float = 0.0,
+    *,
+    failures_before_success: int = 0,
+    seed: int = 0,
+    **solver_kwargs,
+):
+    """A ``solver_factory`` for :class:`~repro.serve.pool.WarmEnginePool`.
+
+    Each pooled engine gets its own fault schedule derived from ``seed``
+    (seed + creation index), so fault timing is reproducible regardless of
+    which worker triggers the compile.
+    """
+    counter = {"n": 0}
+    lock = threading.Lock()
+
+    def factory() -> FlakyEngineSolver:
+        with lock:
+            index = counter["n"]
+            counter["n"] += 1
+        return FlakyEngineSolver(
+            failure_rate=failure_rate,
+            failures_before_success=failures_before_success,
+            seed=seed + index,
+            **solver_kwargs,
+        )
+
+    return factory

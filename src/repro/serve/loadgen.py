@@ -1,0 +1,272 @@
+"""Synthetic load generator for :class:`~repro.serve.service.SolverService`.
+
+Drives the service with a seeded, reproducible workload — mixed shapes,
+mixed quality tiers, mixed deadlines — in either of the two classic load
+models:
+
+* **closed loop** — ``concurrency`` client threads each submit their next
+  request as soon as the previous response lands (throughput-bound; what
+  the serve benchmark uses to measure warm-pool speedup);
+* **open loop** — requests arrive at a fixed ``rate`` regardless of
+  completions (latency-under-load; what exposes admission-control
+  backpressure, since arrivals do not slow down when the queue fills).
+
+Every response is independently re-verified against the scipy optimum (the
+load generator trusts nothing the service says), and the resulting
+:class:`LoadReport` carries the acceptance-criteria numbers directly:
+``lost`` (must be 0), ``verify_failures`` (must be 0), the degradation
+breakdown, and p50/p95/p99 latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from time import monotonic, sleep
+from typing import Sequence
+
+import numpy as np
+
+from repro.lap.problem import LAPInstance
+from repro.serve.request import SolveResponse
+from repro.serve.service import SolverService
+from repro.serve.stats import latency_summary
+
+__all__ = ["LoadReport", "WorkItem", "generate_workload", "run_load"]
+
+#: Default shape mix: small/medium sizes with one repeat-heavy shape so the
+#: warm pool and micro-batching both get traffic.
+DEFAULT_SHAPES = (8, 8, 8, 12, 16, 16, 24, 32)
+
+#: Default tier mix (drawn per request): mostly balanced, some pinned.
+DEFAULT_TIER_WEIGHTS = {"auto": 0.6, "ipu": 0.25, "fast": 0.15}
+
+#: Default deadline mix: fraction with no deadline / a loose one / a tight
+#: one (seconds).  Tight deadlines exercise the preemptive degradation path.
+DEFAULT_DEADLINES = ((None, 0.5), (2.0, 0.3), (0.02, 0.2))
+
+_VERIFY_ABS = 1e-6
+_VERIFY_REL = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkItem:
+    """One scripted request: the instance plus its serving metadata."""
+
+    instance: LAPInstance
+    tier: str
+    deadline_s: float | None
+
+
+def generate_workload(
+    count: int,
+    *,
+    seed: int = 0,
+    shapes: Sequence[int] = DEFAULT_SHAPES,
+    tier_weights: dict[str, float] | None = None,
+    deadlines: Sequence[tuple[float | None, float]] = DEFAULT_DEADLINES,
+    cost_scale: float = 100.0,
+) -> list[WorkItem]:
+    """A seeded list of :class:`WorkItem`\\ s (same seed → same workload)."""
+    rng = np.random.default_rng(seed)
+    weights = tier_weights if tier_weights is not None else DEFAULT_TIER_WEIGHTS
+    tiers = list(weights)
+    tier_p = np.asarray([weights[t] for t in tiers], dtype=np.float64)
+    tier_p = tier_p / tier_p.sum()
+    deadline_values = [d for d, _ in deadlines]
+    deadline_p = np.asarray([p for _, p in deadlines], dtype=np.float64)
+    deadline_p = deadline_p / deadline_p.sum()
+    items: list[WorkItem] = []
+    for index in range(count):
+        size = int(rng.choice(np.asarray(shapes)))
+        costs = rng.random((size, size)) * cost_scale
+        items.append(
+            WorkItem(
+                instance=LAPInstance(costs, name=f"load-{index}-n{size}"),
+                tier=tiers[int(rng.choice(len(tiers), p=tier_p))],
+                deadline_s=deadline_values[
+                    int(rng.choice(len(deadline_values), p=deadline_p))
+                ],
+            )
+        )
+    return items
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one :func:`run_load` run."""
+
+    mode: str
+    submitted: int
+    completed: int
+    rejected: dict[str, int]
+    degraded: int
+    deadline_missed: int
+    verify_failures: int
+    lost: int  # submitted requests with no terminal response — must be 0
+    backends: dict[str, int]
+    wall_seconds: float
+    latency: dict
+    responses: tuple[SolveResponse, ...] = dataclasses.field(
+        default=(), repr=False, compare=False
+    )
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def summary(self) -> dict:
+        """JSON-ready summary (benchmark records and the CLI print this)."""
+        return {
+            "mode": self.mode,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": dict(self.rejected),
+            "degraded": self.degraded,
+            "deadline_missed": self.deadline_missed,
+            "verify_failures": self.verify_failures,
+            "lost": self.lost,
+            "backends": dict(self.backends),
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput,
+            "latency_seconds": self.latency,
+        }
+
+
+def _verify_response(item: WorkItem, response: SolveResponse) -> bool:
+    """Independently check a completed response against the scipy optimum."""
+    from scipy.optimize import linear_sum_assignment
+
+    assert response.result is not None
+    rows, cols = linear_sum_assignment(item.instance.costs)
+    optimum = float(item.instance.costs[rows, cols].sum())
+    tolerance = _VERIFY_ABS + _VERIFY_REL * abs(optimum)
+    if abs(response.result.total_cost - optimum) > tolerance:
+        return False
+    # The assignment itself must be a permutation achieving the claimed cost.
+    assignment = np.asarray(response.result.assignment)
+    if sorted(assignment.tolist()) != list(range(item.instance.size)):
+        return False
+    achieved = item.instance.total_cost(assignment)
+    return abs(achieved - optimum) <= tolerance
+
+
+def run_load(
+    service: SolverService,
+    workload: Sequence[WorkItem],
+    *,
+    mode: str = "closed",
+    concurrency: int = 8,
+    rate: float | None = None,
+    verify: bool = True,
+    response_timeout: float = 120.0,
+) -> LoadReport:
+    """Replay ``workload`` against ``service`` and account for every request.
+
+    Parameters
+    ----------
+    mode:
+        ``"closed"`` (``concurrency`` threads, submit-on-completion) or
+        ``"open"`` (fixed arrival ``rate`` per second, one submitter).
+    verify:
+        Re-check every completed response against scipy (independent of the
+        service's own ``verify`` flag).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop mode requires a positive rate")
+
+    responses: list[SolveResponse | None] = [None] * len(workload)
+    started = monotonic()
+
+    if mode == "closed":
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+
+        def client() -> None:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(workload):
+                        return
+                    cursor["next"] = index + 1
+                item = workload[index]
+                ticket = service.submit(
+                    item.instance, tier=item.tier, deadline_s=item.deadline_s
+                )
+                responses[index] = ticket.response(response_timeout)
+
+        threads = [
+            threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+            for i in range(max(1, concurrency))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        tickets = []
+        interval = 1.0 / float(rate)
+        for index, item in enumerate(workload):
+            target = started + index * interval
+            delay = target - monotonic()
+            if delay > 0:
+                sleep(delay)
+            tickets.append(
+                service.submit(
+                    item.instance, tier=item.tier, deadline_s=item.deadline_s
+                )
+            )
+        for index, ticket in enumerate(tickets):
+            try:
+                responses[index] = ticket.response(response_timeout)
+            except TimeoutError:
+                responses[index] = None  # counted as lost below
+
+    wall_seconds = monotonic() - started
+
+    completed = 0
+    degraded = 0
+    deadline_missed = 0
+    verify_failures = 0
+    lost = 0
+    rejected: dict[str, int] = {}
+    backends: dict[str, int] = {}
+    latencies: list[float] = []
+    for item, response in zip(workload, responses):
+        if response is None:
+            lost += 1
+            continue
+        if response.ok:
+            completed += 1
+            backend = response.backend or "unknown"
+            backends[backend] = backends.get(backend, 0) + 1
+            latencies.append(response.latency_s)
+            if response.degraded:
+                degraded += 1
+            if response.deadline_missed:
+                deadline_missed += 1
+            if verify and not _verify_response(item, response):
+                verify_failures += 1
+        else:
+            assert response.reject is not None
+            rejected[response.reject.code] = rejected.get(response.reject.code, 0) + 1
+
+    return LoadReport(
+        mode=mode,
+        submitted=len(workload),
+        completed=completed,
+        rejected=dict(sorted(rejected.items())),
+        degraded=degraded,
+        deadline_missed=deadline_missed,
+        verify_failures=verify_failures,
+        lost=lost,
+        backends=dict(sorted(backends.items())),
+        wall_seconds=wall_seconds,
+        latency=latency_summary(latencies),
+        responses=tuple(r for r in responses if r is not None),
+    )

@@ -1,0 +1,238 @@
+"""Per-shape warm engine pool with LRU eviction under a memory budget.
+
+On a real IPU the Poplar binary is compiled once per shape and re-executed
+with fresh data; compilation is orders of magnitude more expensive than a
+solve.  The serving layer therefore keeps **warm engines** — a
+:class:`~repro.core.solver.HunIPUSolver` holding one compiled graph — pooled
+per shape and leases them to workers for exclusive use (compiled instances
+carry mutable device state, so a lease is never shared between threads).
+
+The pool is bounded by a **device-memory budget**: each entry is costed at
+its compiled graph's total mapped tensor bytes (the sum of
+``CompiledGraph.memory_per_tile``, i.e. what the shape occupies in tile
+SRAM), and when the *idle* footprint exceeds the budget the least recently
+used idle entries are evicted.  Leased engines are never evicted; a shape
+evicted while hot simply recompiles on next demand and counts as a miss.
+
+All methods are thread-safe.  Pool traffic feeds ``serve.pool.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import threading
+from typing import Callable
+
+from repro.core.solver import HunIPUSolver
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["EngineLease", "WarmEnginePool"]
+
+logger = logging.getLogger(__name__)
+
+#: Default idle-pool budget: ~64 MiB of modeled tile SRAM, roughly a third
+#: of the Mk2's on-chip memory — enough for dozens of small/medium shapes.
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class _PoolEntry:
+    """One warm engine: a single-shape solver plus bookkeeping."""
+
+    solver: HunIPUSolver
+    size: int
+    nbytes: int
+    last_used: int = 0
+
+
+class EngineLease:
+    """Exclusive checkout of a warm engine; context manager releases it."""
+
+    def __init__(self, pool: "WarmEnginePool", entry: _PoolEntry, *, hit: bool) -> None:
+        self._pool = pool
+        self._entry = entry
+        self._released = False
+        self.hit = hit
+
+    @property
+    def solver(self) -> HunIPUSolver:
+        return self._entry.solver
+
+    @property
+    def size(self) -> int:
+        return self._entry.size
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool._release(self._entry)
+
+    def __enter__(self) -> "EngineLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class WarmEnginePool:
+    """LRU-bounded pool of per-shape compiled engines.
+
+    Parameters
+    ----------
+    solver_factory:
+        Builds a fresh engine-backed solver; each pool entry owns one,
+        compiled for exactly one shape.  Tests inject fault-wrapped
+        factories here (:mod:`repro.serve.faults`).
+    memory_budget_bytes:
+        Ceiling on the summed compiled-graph footprint of *idle* entries.
+        ``0`` disables retention entirely (every release evicts — the
+        cold-path baseline the serve benchmark compares against).
+    metrics:
+        Registry for ``serve.pool.*`` instruments; defaults to the library
+        default registry.
+    """
+
+    def __init__(
+        self,
+        solver_factory: Callable[[], HunIPUSolver] | None = None,
+        *,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if memory_budget_bytes < 0:
+            raise ValueError(
+                f"memory_budget_bytes must be >= 0, got {memory_budget_bytes}"
+            )
+        self._factory = solver_factory if solver_factory is not None else HunIPUSolver
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._lock = threading.Lock()
+        self._idle: dict[int, list[_PoolEntry]] = {}
+        self._tick = 0
+        self._leased = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+
+    def acquire(self, size: int) -> EngineLease:
+        """Lease a warm engine for ``size``, compiling one on a miss.
+
+        A miss compiles *outside* the pool lock — concurrent misses for the
+        same shape each compile their own engine, and both land in the pool
+        on release (deliberate: a shape hot enough to miss concurrently
+        wants more than one warm engine anyway).
+        """
+        with self._lock:
+            stack = self._idle.get(size)
+            if stack:
+                entry = stack.pop()
+                if not stack:
+                    del self._idle[size]
+                self._leased += 1
+                self._hits += 1
+                self.metrics.counter(
+                    "serve.pool.hits", "engine leases served from the warm pool"
+                ).inc()
+                return EngineLease(self, entry, hit=True)
+            self._leased += 1
+            self._misses += 1
+        self.metrics.counter(
+            "serve.pool.misses", "engine leases that had to compile"
+        ).inc()
+        solver = self._factory()
+        compiled = solver.compiled_for(size)
+        nbytes = sum(compiled.engine.compiled.memory_per_tile.values())
+        logger.info(
+            "warm pool compiled n=%d (%d bytes of mapped tensors)", size, nbytes
+        )
+        return EngineLease(
+            self, _PoolEntry(solver=solver, size=size, nbytes=nbytes), hit=False
+        )
+
+    def _release(self, entry: _PoolEntry) -> None:
+        evicted: list[_PoolEntry] = []
+        with self._lock:
+            self._leased -= 1
+            self._tick += 1
+            entry.last_used = self._tick
+            self._idle.setdefault(entry.size, []).append(entry)
+            evicted = self._evict_locked()
+        for victim in evicted:
+            logger.info(
+                "warm pool evicted n=%d (%d bytes, LRU under %d-byte budget)",
+                victim.size,
+                victim.nbytes,
+                self.memory_budget_bytes,
+            )
+
+    def _evict_locked(self) -> list[_PoolEntry]:
+        """Drop idle LRU entries until the idle footprint fits the budget."""
+        evicted: list[_PoolEntry] = []
+        while self._idle_bytes_locked() > self.memory_budget_bytes:
+            oldest: _PoolEntry | None = None
+            for stack in self._idle.values():
+                for candidate in stack:
+                    if oldest is None or candidate.last_used < oldest.last_used:
+                        oldest = candidate
+            if oldest is None:  # pragma: no cover - defensive
+                break
+            stack = self._idle[oldest.size]
+            stack.remove(oldest)
+            if not stack:
+                del self._idle[oldest.size]
+            self._evictions += 1
+            self.metrics.counter(
+                "serve.pool.evictions", "warm engines evicted under the budget"
+            ).inc()
+            evicted.append(oldest)
+        self.metrics.gauge(
+            "serve.pool.resident_bytes", "idle warm-pool footprint"
+        ).set(self._idle_bytes_locked())
+        return evicted
+
+    def _idle_bytes_locked(self) -> int:
+        return sum(
+            entry.nbytes for stack in self._idle.values() for entry in stack
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / management
+    # ------------------------------------------------------------------
+
+    def warm(self, sizes) -> None:
+        """Pre-compile one engine per shape so first requests hit warm."""
+        for size in sizes:
+            self.acquire(int(size)).release()
+
+    def warm_sizes(self) -> frozenset[int]:
+        """Shapes with at least one idle warm engine (router pad targets)."""
+        with self._lock:
+            return frozenset(self._idle)
+
+    def clear(self) -> None:
+        """Drop every idle entry (tests; leased engines are unaffected)."""
+        with self._lock:
+            dropped = sum(len(stack) for stack in self._idle.values())
+            self._evictions += dropped
+            self._idle.clear()
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot feeding the ``repro.serve/1`` export."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "leased": self._leased,
+                "resident_bytes": self._idle_bytes_locked(),
+                "memory_budget_bytes": self.memory_budget_bytes,
+                "shapes": {
+                    str(size): len(stack)
+                    for size, stack in sorted(self._idle.items())
+                },
+            }

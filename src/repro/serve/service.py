@@ -1,0 +1,699 @@
+"""The concurrent assignment-solving service.
+
+:class:`SolverService` is the front door that turns the repo's solvers —
+the HunIPU engine behind a :class:`~repro.serve.pool.WarmEnginePool`, the
+scipy oracle, and the FastHA baseline — into one concurrent, deadline-aware
+endpoint:
+
+* **Admission control**: a bounded queue; when it is full, submissions are
+  rejected immediately with the typed reason ``queue_full`` (backpressure
+  is explicit, callers never block on admission).  Shutdown and invalid
+  requests are rejected the same way; *every* submitted request terminates
+  as completed-or-typed-rejected — none are lost.
+* **Micro-batching**: a worker that dequeues an engine-bound request
+  coalesces queued same-shape engine-bound requests (up to ``max_batch``,
+  optionally lingering ``batch_window_s`` for more to arrive) and runs the
+  whole group through :class:`repro.batch.BatchSolver` on one warm engine
+  lease — one compile-cache lookup and bulk-staged uploads for the group.
+* **Routing and graceful degradation** (:mod:`repro.serve.router`): engine
+  faults retry once with exponential backoff and then descend the
+  tier's backend ladder; deadline-pressed requests skip ladder legs
+  preemptively.  Fallbacks are flagged ``degraded`` with a reason, and the
+  degradation counters in the stats export account for every one.
+* **Observability**: per-request latency histograms, queue-depth gauge and
+  admission/reject/fallback counters in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, plus the schema-versioned
+  ``repro.serve/1`` stats document
+  (:meth:`SolverService.stats_document`, validated by
+  :func:`repro.obs.export.validate_serve_stats`).
+
+Deadlines are best-effort in a cooperative simulator: an expired request is
+rejected at dequeue (it never wastes a worker), a running solve is not
+preempted — if it finishes past its deadline the response is completed with
+``deadline_missed=True``.  The *preemptive* router keeps that case rare by
+degrading requests whose budget is smaller than the engine's estimated
+latency.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from time import monotonic, sleep
+
+from repro.baselines.fastha import FastHASolver
+from repro.baselines.scipy_reference import ScipySolver
+from repro.batch.solver import BatchSolver
+from repro.errors import ExecutionError, InvalidProblemError, ReproError, SolverError
+from repro.lap.problem import LAPInstance
+from repro.lap.result import AssignmentResult
+from repro.obs.export import SERVE_SCHEMA
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.serve.pool import WarmEnginePool
+from repro.serve.request import RejectReason, SolveRequest, SolveResponse, Ticket
+from repro.serve.router import LatencyEstimator, Router
+from repro.serve.stats import latency_summary
+
+__all__ = ["SolverService"]
+
+logger = logging.getLogger(__name__)
+
+#: Verification tolerance against the scipy optimum (same scale as the
+#: library's differential tests).
+_VERIFY_ABS = 1e-6
+_VERIFY_REL = 1e-9
+
+
+class SolverService:
+    """Concurrent LSAP solving over a warm engine pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads executing requests.
+    queue_capacity:
+        Bound of the admission queue; submissions beyond it are rejected
+        with ``queue_full``.
+    max_batch:
+        Micro-batch ceiling: how many same-shape engine-bound requests one
+        worker coalesces into a single :class:`~repro.batch.BatchSolver`
+        run.
+    batch_window_s:
+        Optional linger: a worker holding fewer than ``max_batch`` requests
+        waits up to this long for more same-shape arrivals before running.
+        ``0`` (default) coalesces only what is already queued, which keeps
+        latency minimal and tests deterministic.
+    pool:
+        The warm engine pool; built from ``solver_factory`` /
+        ``memory_budget_bytes`` when omitted.
+    router:
+        Routing/degradation policy; a default :class:`Router` when omitted.
+    verify:
+        When True, every completed result is checked against the scipy
+        optimum before the response resolves; mismatches surface as
+        ``internal_error`` rejections (and a ``serve.verify_failures``
+        counter) instead of silently wrong answers.
+    metrics:
+        Registry for ``serve.*`` instruments (shared with the pool unless
+        the pool was passed in pre-built).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        queue_capacity: int = 64,
+        max_batch: int = 8,
+        batch_window_s: float = 0.0,
+        pool: WarmEnginePool | None = None,
+        solver_factory=None,
+        memory_budget_bytes: int | None = None,
+        router: Router | None = None,
+        verify: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise SolverError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise SolverError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if max_batch < 1:
+            raise SolverError(f"max_batch must be >= 1, got {max_batch}")
+        self.metrics = metrics if metrics is not None else default_registry()
+        if pool is None:
+            pool_kwargs = {"metrics": self.metrics}
+            if memory_budget_bytes is not None:
+                pool_kwargs["memory_budget_bytes"] = memory_budget_bytes
+            pool = WarmEnginePool(solver_factory, **pool_kwargs)
+        self.pool = pool
+        self.router = router if router is not None else Router(LatencyEstimator())
+        self.verify = verify
+        self.max_batch = int(max_batch)
+        self.batch_window_s = float(batch_window_s)
+        self.queue_capacity = int(queue_capacity)
+
+        self._scipy = ScipySolver()
+        self._fastha = FastHASolver()
+        self._queue: deque[Ticket] = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._draining = True
+        self._next_id = 0
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._degraded = 0
+        self._deadline_missed = 0
+        self._in_flight = 0
+        self._peak_queue_depth = 0
+        self._rejected: dict[str, int] = {}
+        self._backends: dict[str, int] = {}
+        self._fallbacks = {"engine_error": 0, "deadline": 0, "retries": 0}
+        self._batches = 0
+        self._coalesced = 0
+        self._latencies: list[float] = []
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+        logger.info(
+            "SolverService up: %d workers, queue capacity %d, max batch %d",
+            workers,
+            queue_capacity,
+            max_batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Submission / admission control
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        instance: LAPInstance,
+        *,
+        tier: str = "auto",
+        deadline_s: float | None = None,
+    ) -> Ticket:
+        """Submit one instance; returns immediately with a :class:`Ticket`.
+
+        Admission is non-blocking: a full queue, a closed service, or an
+        invalid request resolves the ticket *rejected* with a typed reason
+        right away.
+        """
+        now = monotonic()
+        with self._cond:
+            request_id = self._next_id
+            self._next_id += 1
+        try:
+            request = SolveRequest(
+                instance=instance,
+                tier=tier,
+                deadline_s=deadline_s,
+                request_id=request_id,
+                submitted_at=now,
+            )
+        except InvalidProblemError as exc:
+            fallback_request = SolveRequest(
+                instance=instance, request_id=request_id, submitted_at=now
+            )
+            return self._reject_ticket(
+                Ticket(fallback_request), "invalid", str(exc), admitted=False
+            )
+        ticket = Ticket(request)
+        with self._cond:
+            if self._stopping:
+                return self._reject_ticket(
+                    ticket, "shutdown", "service is shutting down", admitted=False
+                )
+            if len(self._queue) >= self.queue_capacity:
+                return self._reject_ticket(
+                    ticket,
+                    "queue_full",
+                    f"admission queue at capacity ({self.queue_capacity})",
+                    admitted=False,
+                )
+            # Count the admission before the append: once a worker can see
+            # the ticket it may complete (and decrement in_flight) at any
+            # moment, and the accounting must never go transiently negative.
+            with self._stats_lock:
+                self._submitted += 1
+                self._in_flight += 1
+            self._queue.append(ticket)
+            depth = len(self._queue)
+            self._cond.notify()
+        with self._stats_lock:
+            self._peak_queue_depth = max(self._peak_queue_depth, depth)
+        self.metrics.counter("serve.submitted", "requests admitted or rejected").inc()
+        self.metrics.gauge("serve.queue_depth", "admission queue depth").set(depth)
+        return ticket
+
+    def solve(
+        self,
+        instance: LAPInstance,
+        *,
+        tier: str = "auto",
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> SolveResponse:
+        """Blocking convenience: submit and wait for the response."""
+        return self.submit(instance, tier=tier, deadline_s=deadline_s).response(
+            timeout
+        )
+
+    def _reject_ticket(
+        self, ticket: Ticket, code: str, detail: str, *, admitted: bool = True
+    ) -> Ticket:
+        """Resolve ``ticket`` as rejected and account for it.
+
+        ``admitted=False`` marks admission-time rejections: the request was
+        never counted in flight, so rejection is what *makes* it submitted.
+        """
+        response = SolveResponse(
+            request_id=ticket.request_id,
+            status="rejected",
+            reject=RejectReason(code, detail),
+        )
+        if ticket._resolve(response):
+            with self._stats_lock:
+                if admitted:
+                    self._in_flight -= 1
+                else:
+                    self._submitted += 1
+                self._rejected[code] = self._rejected.get(code, 0) + 1
+            self.metrics.counter(
+                f"serve.rejected.{code}", f"requests rejected: {code}"
+            ).inc()
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # stopping and drained
+                if self._stopping and not self._draining:
+                    ticket = self._queue.popleft()
+                    self._cond.notify()
+                    self._reject_ticket(ticket, "shutdown", "service closed")
+                    continue
+                head = self._take_live_ticket_locked()
+            if head is None:
+                continue
+            try:
+                self._dispatch(head)
+            except Exception:  # pragma: no cover - backstop, must not die
+                logger.exception("worker crashed on request %d", head.request_id)
+                self._reject_ticket(
+                    head, "internal_error", "unexpected worker failure"
+                )
+
+    def _take_live_ticket_locked(self) -> Ticket | None:
+        """Pop the next ticket, terminally resolving dead ones in passing."""
+        while self._queue:
+            ticket = self._queue.popleft()
+            self.metrics.gauge(
+                "serve.queue_depth", "admission queue depth"
+            ).set(len(self._queue))
+            if ticket.cancelled:
+                self._reject_ticket(ticket, "cancelled", "cancelled while queued")
+                continue
+            if ticket.request.expired():
+                self._reject_ticket(
+                    ticket,
+                    "deadline_expired",
+                    f"deadline ({ticket.request.deadline_s:.3f}s) expired "
+                    "while queued",
+                )
+                continue
+            return ticket
+        return None
+
+    def _dispatch(self, head: Ticket) -> None:
+        """Plan, micro-batch, and execute starting from ``head``."""
+        now = monotonic()
+        plan = self.router.plan(head.request, self.pool.warm_sizes(), now)
+        batch = [head]
+        if plan.backend == "hunipu" and self.max_batch > 1:
+            batch += self._coalesce(head, plan)
+        if len(batch) > 1:
+            with self._stats_lock:
+                self._coalesced += len(batch) - 1
+            self.metrics.histogram(
+                "serve.batch_size",
+                "engine micro-batch sizes",
+                buckets=tuple(float(2**i) for i in range(0, 8)),
+            ).observe(len(batch))
+        with self._stats_lock:
+            self._batches += 1
+        if plan.backend == "hunipu":
+            self._execute_engine_batch(batch, plan)
+        else:
+            for ticket in batch:
+                self._execute_ladder(ticket, plan, lease=None)
+
+    def _coalesce(self, head: Ticket, plan) -> list[Ticket]:
+        """Pull queued engine-bound tickets that share ``head``'s shape.
+
+        With a positive ``batch_window_s`` the worker lingers for more
+        same-shape arrivals until the window closes or the batch fills.
+        """
+        gathered: list[Ticket] = []
+        window_ends = monotonic() + self.batch_window_s
+        while True:
+            with self._cond:
+                keep: deque[Ticket] = deque()
+                while self._queue and len(gathered) < self.max_batch - 1:
+                    candidate = self._queue.popleft()
+                    if candidate.cancelled or candidate.request.expired():
+                        # Re-route through the terminal resolution path.
+                        keep.append(candidate)
+                        continue
+                    candidate_plan = self.router.plan(
+                        candidate.request, self.pool.warm_sizes(), monotonic()
+                    )
+                    if (
+                        candidate_plan.backend == "hunipu"
+                        and candidate_plan.engine_target == plan.engine_target
+                    ):
+                        gathered.append(candidate)
+                    else:
+                        keep.append(candidate)
+                # Preserve arrival order for everything we did not take.
+                keep.extend(self._queue)
+                self._queue.clear()
+                self._queue.extend(keep)
+                if self._queue:
+                    self._cond.notify()
+            remaining = window_ends - monotonic()
+            if len(gathered) >= self.max_batch - 1 or remaining <= 0:
+                return gathered
+            with self._cond:
+                self._cond.wait(timeout=remaining)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute_engine_batch(self, tickets: list[Ticket], plan) -> None:
+        """Run an engine micro-batch; on faults, fall back per request."""
+        lease = self.pool.acquire(plan.engine_target)
+        try:
+            started = monotonic()
+            try:
+                batch_solver = BatchSolver(
+                    lease.solver, pad_limit=self.router.pad_limit
+                )
+                outcome = batch_solver.solve_batch(
+                    [ticket.request.instance for ticket in tickets]
+                )
+            except ExecutionError as exc:
+                logger.warning(
+                    "engine micro-batch of %d failed (%s); degrading per request",
+                    len(tickets),
+                    exc,
+                )
+                # Each member gets re-attempted individually — that is one
+                # engine retry per request, and the accounting must show it.
+                with self._stats_lock:
+                    self._fallbacks["retries"] += len(tickets)
+                self.metrics.counter(
+                    "serve.retries", "engine retries after faults"
+                ).inc(len(tickets))
+                sleep(self.router.backoff_s(0))
+                for ticket in tickets:
+                    self._execute_ladder(ticket, plan, lease=lease)
+                return
+            elapsed = monotonic() - started
+            per_request = elapsed / len(tickets)
+            self.router.estimator.observe(
+                "hunipu", plan.engine_target, per_request
+            )
+            for ticket, result in zip(tickets, outcome.results):
+                self._complete(
+                    ticket,
+                    result,
+                    backend="hunipu",
+                    plan=plan,
+                    retries=0,
+                    batched=len(tickets),
+                    service_s=per_request,
+                )
+        finally:
+            lease.release()
+
+    def _execute_ladder(self, ticket: Ticket, plan, lease) -> None:
+        """Walk one ticket down its backend ladder (engine leg first)."""
+        request = ticket.request
+        retries = 0
+        descended_on_error = False
+        for position, backend in enumerate(plan.ladder):
+            started = monotonic()
+            try:
+                if backend == "hunipu":
+                    result, retries = self._engine_attempts(request, plan, lease)
+                elif backend == "fastha":
+                    result = self._fastha_solve(request.instance)
+                else:
+                    result = self._scipy.solve(request.instance)
+            except ReproError as exc:
+                logger.warning(
+                    "backend %s failed for request %d (%s); descending ladder",
+                    backend,
+                    request.request_id,
+                    exc,
+                )
+                descended_on_error = True
+                continue
+            service_s = monotonic() - started
+            self.router.estimator.observe(backend, request.size, service_s)
+            fallback_reason = None
+            if plan.preempted:
+                fallback_reason = "deadline"
+            elif descended_on_error or position > 0:
+                fallback_reason = "engine_error"
+            self._complete(
+                ticket,
+                result,
+                backend=backend,
+                plan=plan,
+                retries=retries,
+                batched=1,
+                service_s=service_s,
+                fallback_reason=fallback_reason,
+            )
+            return
+        # Every ladder leg failed — the scipy backstop raising is not an
+        # expected state, but the request must still terminate.
+        self._reject_ticket(
+            ticket, "internal_error", "every backend in the ladder failed"
+        )
+
+    def _engine_attempts(self, request: SolveRequest, plan, lease):
+        """The engine leg: initial try plus retries with backoff."""
+        owned = lease is None
+        if owned:
+            lease = self.pool.acquire(plan.engine_target)
+        try:
+            attempts = 1 + self.router.max_retries
+            for attempt in range(attempts):
+                try:
+                    batch_solver = BatchSolver(
+                        lease.solver, pad_limit=self.router.pad_limit
+                    )
+                    outcome = batch_solver.solve_batch([request.instance])
+                    return outcome.results[0], attempt
+                except ExecutionError:
+                    if attempt + 1 >= attempts:
+                        raise
+                    backoff = self.router.backoff_s(attempt)
+                    with self._stats_lock:
+                        self._fallbacks["retries"] += 1
+                    self.metrics.counter(
+                        "serve.retries", "engine retries after faults"
+                    ).inc()
+                    logger.info(
+                        "engine fault on request %d, retrying in %.3f s",
+                        request.request_id,
+                        backoff,
+                    )
+                    sleep(backoff)
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            if owned:
+                lease.release()
+
+    def _fastha_solve(self, instance: LAPInstance) -> AssignmentResult:
+        """FastHA as an *exact* backend.
+
+        ``FastHASolver.solve_padded`` zero-pads and returns the padded
+        problem's result (the paper's timing semantics); a serving fallback
+        must answer the original instance, so non-2^m sizes go through the
+        batch engine's exact-restriction padding instead.
+        """
+        if instance.is_power_of_two:
+            return self._fastha.solve(instance)
+        from repro.batch.solver import _restrict_result, pad_instance_costs
+
+        target = 1 << (instance.size - 1).bit_length()
+        padded = LAPInstance(
+            pad_instance_costs(instance.costs, target),
+            name=f"{instance.name}-servepad{target}",
+        )
+        return _restrict_result(self._fastha.solve(padded), instance, target)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete(
+        self,
+        ticket: Ticket,
+        result: AssignmentResult,
+        *,
+        backend: str,
+        plan,
+        retries: int,
+        batched: int,
+        service_s: float,
+        fallback_reason: str | None = None,
+    ) -> None:
+        request = ticket.request
+        if fallback_reason is None and plan.preempted:
+            fallback_reason = "deadline"
+        if self.verify and not self._verified(request.instance, result):
+            self.metrics.counter(
+                "serve.verify_failures", "results that failed scipy verification"
+            ).inc()
+            self._reject_ticket(
+                ticket,
+                "internal_error",
+                f"result from {backend} failed scipy verification",
+            )
+            return
+        now = monotonic()
+        latency = now - request.submitted_at
+        degraded = fallback_reason is not None
+        deadline_missed = request.expired(now)
+        response = SolveResponse(
+            request_id=request.request_id,
+            status="completed",
+            result=result,
+            backend=backend,
+            degraded=degraded,
+            fallback_reason=fallback_reason,
+            retries=retries,
+            batched=batched,
+            queue_wait_s=max(0.0, latency - service_s),
+            service_s=service_s,
+            latency_s=latency,
+            deadline_missed=deadline_missed,
+        )
+        if not ticket._resolve(response):
+            return  # already terminally resolved (e.g. raced cancellation)
+        with self._stats_lock:
+            self._in_flight -= 1
+            self._completed += 1
+            self._backends[backend] = self._backends.get(backend, 0) + 1
+            if degraded:
+                self._degraded += 1
+                self._fallbacks[fallback_reason] = (
+                    self._fallbacks.get(fallback_reason, 0) + 1
+                )
+            if deadline_missed:
+                self._deadline_missed += 1
+            self._latencies.append(latency)
+        self.metrics.counter("serve.completed", "requests completed").inc()
+        if degraded:
+            self.metrics.counter(
+                "serve.fallbacks", "requests served by a fallback backend"
+            ).inc()
+        self.metrics.histogram(
+            "serve.latency_seconds",
+            "end-to-end request latency",
+            buckets=tuple(0.001 * 4**i for i in range(0, 10)),
+        ).observe(latency)
+
+    @staticmethod
+    def _verified(instance: LAPInstance, result: AssignmentResult) -> bool:
+        from scipy.optimize import linear_sum_assignment
+
+        rows, cols = linear_sum_assignment(instance.costs)
+        optimum = float(instance.costs[rows, cols].sum())
+        tolerance = _VERIFY_ABS + _VERIFY_REL * abs(optimum)
+        return abs(result.total_cost - optimum) <= tolerance
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admission and shut the workers down.
+
+        ``drain=True`` (default) lets workers finish everything queued;
+        ``drain=False`` rejects queued requests with ``shutdown``.
+        """
+        with self._cond:
+            self._stopping = True
+            self._draining = drain
+            self._cond.notify_all()
+        for thread in self._workers:
+            thread.join(timeout)
+        logger.info("SolverService closed (drain=%s)", drain)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        """Plain-dict snapshot of the request accounting."""
+        with self._stats_lock:
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "degraded": self._degraded,
+                "deadline_missed": self._deadline_missed,
+                "in_flight": self._in_flight,
+                "rejected": dict(sorted(self._rejected.items())),
+                "backends": dict(sorted(self._backends.items())),
+                "fallbacks": dict(self._fallbacks),
+                "batches": self._batches,
+                "coalesced": self._coalesced,
+                "peak_queue_depth": self._peak_queue_depth,
+                "latencies": list(self._latencies),
+            }
+
+    def stats_document(self, meta: dict | None = None) -> dict:
+        """The schema-versioned ``repro.serve/1`` stats export."""
+        snapshot = self.stats()
+        document = {
+            "schema": SERVE_SCHEMA,
+            "meta": {
+                "workers": len(self._workers),
+                "queue_capacity": self.queue_capacity,
+                "max_batch": self.max_batch,
+                "batch_window_s": self.batch_window_s,
+                "verify": self.verify,
+                **(meta or {}),
+            },
+            "requests": {
+                "submitted": snapshot["submitted"],
+                "completed": snapshot["completed"],
+                "degraded": snapshot["degraded"],
+                "deadline_missed": snapshot["deadline_missed"],
+                "rejected": snapshot["rejected"],
+                "in_flight": snapshot["in_flight"],
+            },
+            "latency_seconds": latency_summary(snapshot["latencies"]),
+            "queue": {
+                "depth": self.queue_depth(),
+                "peak_depth": snapshot["peak_queue_depth"],
+            },
+            "backends": snapshot["backends"],
+            "fallbacks": snapshot["fallbacks"],
+            "batching": {
+                "batches": snapshot["batches"],
+                "coalesced": snapshot["coalesced"],
+            },
+            "pool": self.pool.stats(),
+            "estimator": self.router.estimator.snapshot(),
+        }
+        return document

@@ -1,0 +1,39 @@
+"""Latency summaries for the serving layer (stats export + load reports)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["latency_summary", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) by linear interpolation; input sorted."""
+    if not sorted_values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    position = (len(sorted_values) - 1) * (q / 100.0)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(sorted_values[lower])
+    weight = position - lower
+    return float(
+        sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+    )
+
+
+def latency_summary(latencies: Sequence[float]) -> dict:
+    """JSON-ready p50/p95/p99 + mean/max summary of a latency sample."""
+    ordered = sorted(latencies)
+    count = len(ordered)
+    return {
+        "count": count,
+        "mean": (sum(ordered) / count) if count else 0.0,
+        "p50": percentile(ordered, 50),
+        "p95": percentile(ordered, 95),
+        "p99": percentile(ordered, 99),
+        "max": ordered[-1] if count else 0.0,
+    }

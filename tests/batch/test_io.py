@@ -100,3 +100,90 @@ class TestErrors:
         path.write_text("1,2\n3,4\n")
         with pytest.raises(InvalidProblemError, match="suffix"):
             load_batch_file(path)
+
+
+class TestMalformedFiles:
+    """Corrupt or hostile inputs must surface as typed InvalidProblemError."""
+
+    def test_garbage_npz_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00\x01not-a-zip-archive\xff" * 8)
+        with pytest.raises(InvalidProblemError, match="readable"):
+            load_batch_file(path)
+
+    def test_garbage_npy_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npy"
+        path.write_bytes(b"definitely not the npy magic header")
+        with pytest.raises(InvalidProblemError, match="readable"):
+            load_batch_file(path)
+
+    def test_undecodable_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"instances": [[[1, 2], [3,')
+        with pytest.raises(InvalidProblemError, match="not valid JSON"):
+            load_batch_file(path)
+
+    def test_binary_json(self, tmp_path):
+        path = tmp_path / "binary.json"
+        path.write_bytes(b"\xff\xfe\x00\x01")
+        with pytest.raises(InvalidProblemError):
+            load_batch_file(path)
+
+    def test_non_numeric_json_entries(self, tmp_path):
+        path = tmp_path / "words.json"
+        path.write_text(json.dumps([[["a", "b"], ["c", "d"]]]))
+        with pytest.raises(InvalidProblemError, match="not a numeric matrix"):
+            load_batch_file(path)
+
+    def test_string_dtype_npz_entry(self, tmp_path):
+        path = tmp_path / "strings.npz"
+        np.savez(path, words=np.array([["a", "b"], ["c", "d"]]))
+        with pytest.raises(InvalidProblemError, match="non-numeric dtype"):
+            load_batch_file(path)
+
+    def test_string_dtype_npy(self, tmp_path):
+        path = tmp_path / "strings.npy"
+        np.save(path, np.array([["a", "b"], ["c", "d"]]))
+        with pytest.raises(InvalidProblemError, match="numeric"):
+            load_batch_file(path)
+
+
+class TestEmptyBatches:
+    def test_empty_json_list(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(InvalidProblemError, match="no instances"):
+            load_batch_file(path)
+
+    def test_empty_instances_object(self, tmp_path):
+        path = tmp_path / "empty-obj.json"
+        path.write_text(json.dumps({"instances": []}))
+        with pytest.raises(InvalidProblemError, match="no instances"):
+            load_batch_file(path)
+
+    def test_npz_with_no_arrays(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        np.savez(path)
+        with pytest.raises(InvalidProblemError, match="no instances"):
+            load_batch_file(path)
+
+
+class TestDtypeCoercion:
+    def test_bool_matrix_is_accepted(self, tmp_path):
+        path = tmp_path / "bools.npy"
+        np.save(path, np.array([[True, False], [False, True]]))
+        instances = load_batch_file(path)
+        assert instances[0].costs.dtype == np.float64
+        assert instances[0].costs[0, 0] == 1.0
+
+    def test_integer_npz_entries_are_coerced(self, tmp_path, rng):
+        path = tmp_path / "ints.npz"
+        np.savez(path, m=rng.integers(0, 100, size=(4, 4)))
+        instances = load_batch_file(path)
+        assert instances[0].costs.dtype == np.float64
+
+    def test_mixed_dtype_json_rows_are_rejected(self, tmp_path):
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps([[[1, 2], ["three", 4]]]))
+        with pytest.raises(InvalidProblemError, match="not a numeric matrix"):
+            load_batch_file(path)

@@ -74,3 +74,24 @@ class TestViews:
         copy = tensor.read_host()
         copy[0] = 9
         assert tensor.data[0] == 0
+
+
+class TestBufferVersion:
+    """``Tensor.version`` is the cache key for compiled gather views."""
+
+    def test_starts_at_zero(self):
+        assert Tensor("t", (4,), np.dtype(np.int32)).version == 0
+
+    def test_in_place_writes_do_not_bump(self):
+        tensor = Tensor("t", (4,), np.dtype(np.int32))
+        tensor.write_host(np.arange(4))
+        tensor.data[0] = 99
+        tensor.flat()[1] = 98
+        assert tensor.version == 0
+
+    def test_rebind_bumps_every_time(self):
+        tensor = Tensor("t", (4,), np.dtype(np.int32))
+        tensor.data = np.zeros(4, dtype=np.int32)
+        assert tensor.version == 1
+        tensor.data = np.ones(4, dtype=np.int32)
+        assert tensor.version == 2

@@ -112,3 +112,66 @@ class TestSolverMetrics:
         # per-superstep engine instruments stay untouched.
         assert default_registry().counter("engine.supersteps").value == before
         assert default_registry().counter("solver.solves").value > 0
+
+
+class TestThreadSafety:
+    """The serving layer hammers one registry from many worker threads."""
+
+    def test_concurrent_increments_are_not_lost(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads = 8
+        rounds = 2000
+        barrier = threading.Barrier(threads)
+
+        def worker(index):
+            barrier.wait()
+            for i in range(rounds):
+                # Same names from every thread: exercises the registry's
+                # get-or-create race as well as the instrument mutations.
+                registry.counter("stress.counter").inc()
+                registry.gauge("stress.gauge").add(1.0)
+                registry.histogram(
+                    "stress.histogram", buckets=(0.5, 2.0)
+                ).observe(1.0)
+
+        pool = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        total = threads * rounds
+        assert registry.counter("stress.counter").value == total
+        assert registry.gauge("stress.gauge").value == total
+        histogram = registry.histogram("stress.histogram", buckets=(0.5, 2.0))
+        assert histogram.count == total
+        assert histogram.sum == pytest.approx(total)
+        assert histogram.bucket_counts == (0, total, total)
+        # Exactly three instruments despite 8 threads racing to create them.
+        assert len(registry) == 3
+
+    def test_snapshot_during_concurrent_writes(self):
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.counter("snap.counter").inc()
+                registry.histogram("snap.histogram").observe(0.1)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                for name, document in registry.snapshot().items():
+                    assert name.startswith("snap.")
+                    assert isinstance(document, dict)
+        finally:
+            stop.set()
+            thread.join()

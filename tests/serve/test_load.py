@@ -1,0 +1,116 @@
+"""The acceptance-criteria load tests: deterministic seed, nothing lost.
+
+These are the executable form of the serving layer's contract:
+
+* every admitted request completes or is rejected with a typed reason —
+  zero lost, proven by the load generator's per-request accounting;
+* every completed result matches the scipy optimum, degraded or not;
+* under injected engine faults the fallback path still serves correct
+  results and the degradation counters account for 100 % of the degraded
+  responses.
+"""
+
+import numpy as np
+
+from repro.obs.export import SERVE_SCHEMA, validate_document
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    SolverService,
+    WarmEnginePool,
+    flaky_factory,
+    generate_workload,
+    run_load,
+)
+
+_SHAPES = (6, 6, 8, 10)
+
+
+class TestWorkloadDeterminism:
+    def test_same_seed_same_workload(self):
+        first = generate_workload(12, seed=42, shapes=_SHAPES)
+        second = generate_workload(12, seed=42, shapes=_SHAPES)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.instance.costs, b.instance.costs)
+            assert a.tier == b.tier and a.deadline_s == b.deadline_s
+
+    def test_different_seed_differs(self):
+        first = generate_workload(12, seed=1, shapes=_SHAPES)
+        second = generate_workload(12, seed=2, shapes=_SHAPES)
+        assert any(
+            not np.array_equal(a.instance.costs, b.instance.costs)
+            for a, b in zip(first, second)
+        )
+
+
+class TestClosedLoop:
+    def test_nothing_lost_and_everything_optimal(self):
+        workload = generate_workload(24, seed=7, shapes=_SHAPES)
+        with SolverService(workers=3, queue_capacity=64) as service:
+            report = run_load(
+                service, workload, mode="closed", concurrency=4, verify=True
+            )
+        assert report.lost == 0
+        assert report.verify_failures == 0
+        assert report.completed + sum(report.rejected.values()) == len(workload)
+        document = service.stats_document()
+        assert document["schema"] == SERVE_SCHEMA
+        validate_document(document)
+        assert document["requests"]["in_flight"] == 0
+        assert document["requests"]["submitted"] == len(workload)
+
+    def test_degradation_counters_account_for_every_degraded_response(self):
+        metrics = MetricsRegistry()
+        # Every engine's first run faults deterministically, plus a seeded
+        # 30 % rate after that — the ladder must absorb all of it.
+        pool = WarmEnginePool(
+            flaky_factory(0.3, failures_before_success=1, seed=5),
+            metrics=metrics,
+        )
+        workload = generate_workload(24, seed=9, shapes=_SHAPES)
+        with SolverService(workers=3, pool=pool, metrics=metrics) as service:
+            report = run_load(
+                service, workload, mode="closed", concurrency=4, verify=True
+            )
+        assert report.lost == 0
+        assert report.verify_failures == 0  # fallbacks still serve the optimum
+        document = service.stats_document()
+        validate_document(document)
+        fallbacks = document["fallbacks"]
+        # The engine really faulted and the ladder absorbed it...
+        assert fallbacks["retries"] > 0
+        # ...and every degraded response is attributed to exactly one reason.
+        assert (
+            document["requests"]["degraded"]
+            == fallbacks["engine_error"] + fallbacks["deadline"]
+        )
+        assert report.degraded == document["requests"]["degraded"]
+
+    def test_warm_pool_is_reused_across_the_run(self):
+        pool = WarmEnginePool()
+        pool.warm(sorted(set(_SHAPES)))
+        workload = generate_workload(
+            18, seed=3, shapes=_SHAPES, deadlines=((None, 1.0),)
+        )
+        # One worker + no micro-batching: every engine-bound request takes
+        # exactly one lease, and with the pool pre-warmed each is a hit.
+        with SolverService(workers=1, max_batch=1, pool=pool) as service:
+            report = run_load(service, workload, mode="closed", verify=True)
+        assert report.lost == 0
+        stats = pool.stats()
+        assert stats["hits"] > stats["misses"]  # warm engines did the work
+
+
+class TestOpenLoop:
+    def test_overload_sheds_via_typed_backpressure(self):
+        workload = generate_workload(
+            30, seed=13, shapes=(8,), deadlines=((None, 1.0),)
+        )
+        with SolverService(workers=1, queue_capacity=3) as service:
+            report = run_load(
+                service, workload, mode="open", rate=500.0, verify=True
+            )
+        assert report.lost == 0
+        assert report.rejected.get("queue_full", 0) > 0
+        assert report.completed + sum(report.rejected.values()) == len(workload)
+        document = service.stats_document()
+        validate_document(document)

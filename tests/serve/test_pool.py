@@ -1,0 +1,119 @@
+"""Tests for the warm engine pool (reuse, LRU eviction, thread safety)."""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.pool import WarmEnginePool
+
+
+class TestReuse:
+    def test_released_engine_is_reused(self):
+        pool = WarmEnginePool()
+        first = pool.acquire(8)
+        assert not first.hit
+        solver = first.solver
+        first.release()
+        second = pool.acquire(8)
+        assert second.hit
+        assert second.solver is solver
+        second.release()
+        stats = pool.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lease_is_exclusive(self):
+        pool = WarmEnginePool()
+        first = pool.acquire(8)
+        second = pool.acquire(8)  # concurrent miss compiles its own
+        assert second.solver is not first.solver
+        first.release()
+        second.release()
+        assert pool.stats()["shapes"] == {"8": 2}
+
+    def test_warm_precompiles(self):
+        pool = WarmEnginePool()
+        pool.warm([8, 12])
+        assert pool.warm_sizes() == frozenset({8, 12})
+        lease = pool.acquire(12)
+        assert lease.hit
+        lease.release()
+
+    def test_context_manager_releases(self):
+        pool = WarmEnginePool()
+        with pool.acquire(8) as lease:
+            assert lease.size == 8
+            assert pool.stats()["leased"] == 1
+        assert pool.stats()["leased"] == 0
+
+
+class TestEviction:
+    def test_zero_budget_retains_nothing(self):
+        pool = WarmEnginePool(memory_budget_bytes=0)
+        pool.acquire(8).release()
+        assert pool.warm_sizes() == frozenset()
+        assert pool.stats()["evictions"] == 1
+        # Next acquire is a fresh compile.
+        lease = pool.acquire(8)
+        assert not lease.hit
+        lease.release()
+
+    def test_lru_evicts_oldest_idle_first(self):
+        pool = WarmEnginePool()
+        pool.acquire(8).release()
+        nbytes = pool.stats()["resident_bytes"]
+        assert nbytes > 0
+        # Budget fits roughly one n=8 engine: warming a second and a third
+        # shape must evict the least recently used entries.
+        pool.memory_budget_bytes = int(nbytes * 1.5)
+        pool.acquire(12).release()  # n=12 > n=8 footprint -> something evicts
+        assert pool.stats()["evictions"] >= 1
+        assert pool.stats()["resident_bytes"] <= pool.memory_budget_bytes
+
+    def test_leased_engines_never_evicted(self):
+        pool = WarmEnginePool(memory_budget_bytes=0)
+        lease = pool.acquire(8)
+        other = pool.acquire(12)
+        other.release()  # evicted immediately (budget 0)
+        assert pool.stats()["leased"] == 1
+        lease.release()
+
+    def test_metrics_flow(self):
+        metrics = MetricsRegistry()
+        pool = WarmEnginePool(memory_budget_bytes=0, metrics=metrics)
+        pool.acquire(8).release()
+        pool.acquire(8).release()
+        assert metrics.counter("serve.pool.misses").value == 2
+        assert metrics.counter("serve.pool.evictions").value == 2
+        assert metrics.gauge("serve.pool.resident_bytes").value == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_acquire_release_accounting(self):
+        pool = WarmEnginePool()
+        rounds = 20
+        threads = 6
+        errors = []
+
+        def worker(size):
+            try:
+                for _ in range(rounds):
+                    with pool.acquire(size) as lease:
+                        assert lease.size == size
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        pool.warm([8])
+        workers = [
+            threading.Thread(target=worker, args=(8 if i % 2 else 12,))
+            for i in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert not errors
+        stats = pool.stats()
+        assert stats["leased"] == 0
+        assert stats["hits"] + stats["misses"] == rounds * threads + 1
+        # Everything compiled was either retained idle or evicted.
+        retained = sum(int(count) for count in stats["shapes"].values())
+        assert retained + stats["evictions"] == stats["misses"]

@@ -1,0 +1,127 @@
+"""Tests for the serving request/response/ticket types."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.lap.problem import LAPInstance
+from repro.serve.request import (
+    REJECT_CODES,
+    RejectReason,
+    SolveRequest,
+    SolveResponse,
+    Ticket,
+)
+from repro.serve.stats import latency_summary, percentile
+
+
+def _instance(size=4, seed=0):
+    return LAPInstance(np.random.default_rng(seed).random((size, size)))
+
+
+class TestRejectReason:
+    def test_accepts_known_codes(self):
+        for code in REJECT_CODES:
+            assert RejectReason(code).code == code
+
+    def test_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown reject code"):
+            RejectReason("whatever")
+
+
+class TestSolveRequest:
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(InvalidProblemError, match="tier"):
+            SolveRequest(_instance(), tier="best-effort")
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(InvalidProblemError, match="deadline"):
+            SolveRequest(_instance(), deadline_s=0.0)
+
+    def test_deadline_accounting(self):
+        request = SolveRequest(_instance(), deadline_s=2.0, submitted_at=100.0)
+        assert request.deadline_at == 102.0
+        assert request.remaining(101.0) == pytest.approx(1.0)
+        assert not request.expired(101.9)
+        assert request.expired(102.0)
+
+    def test_no_deadline_never_expires(self):
+        request = SolveRequest(_instance(), submitted_at=0.0)
+        assert request.deadline_at is None
+        assert request.remaining(1e9) is None
+        assert not request.expired(1e9)
+
+
+class TestSolveResponse:
+    def test_completed_requires_result(self):
+        with pytest.raises(ValueError, match="result"):
+            SolveResponse(request_id=1, status="completed")
+
+    def test_rejected_requires_reason(self):
+        with pytest.raises(ValueError, match="typed reason"):
+            SolveResponse(request_id=1, status="rejected")
+
+    def test_rejected_is_not_ok(self):
+        response = SolveResponse(
+            request_id=1, status="rejected", reject=RejectReason("queue_full")
+        )
+        assert not response.ok
+
+
+class TestTicket:
+    def _rejected(self, request_id=0):
+        return SolveResponse(
+            request_id=request_id,
+            status="rejected",
+            reject=RejectReason("cancelled"),
+        )
+
+    def test_resolve_is_idempotent(self):
+        ticket = Ticket(SolveRequest(_instance(), request_id=7))
+        assert ticket._resolve(self._rejected(7))
+        assert not ticket._resolve(self._rejected(7))
+        assert ticket.response(0.1).reject.code == "cancelled"
+
+    def test_cancel_only_before_resolution(self):
+        ticket = Ticket(SolveRequest(_instance()))
+        assert ticket.cancel()
+        assert ticket.cancelled
+        ticket._resolve(self._rejected())
+        assert not ticket.cancel()
+
+    def test_response_timeout(self):
+        ticket = Ticket(SolveRequest(_instance()))
+        with pytest.raises(TimeoutError):
+            ticket.response(0.01)
+
+    def test_response_unblocks_on_resolve(self):
+        ticket = Ticket(SolveRequest(_instance(), request_id=3))
+        timer = threading.Timer(0.02, ticket._resolve, args=(self._rejected(3),))
+        timer.start()
+        assert ticket.response(5.0).request_id == 3
+
+
+class TestPercentiles:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 120)
+
+    def test_empty_summary_is_zeroed(self):
+        summary = latency_summary([])
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_summary_fields(self):
+        summary = latency_summary([0.3, 0.1, 0.2])
+        assert summary["count"] == 3
+        assert summary["p50"] == pytest.approx(0.2)
+        assert summary["max"] == pytest.approx(0.3)
+        assert summary["mean"] == pytest.approx(0.2)

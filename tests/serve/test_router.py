@@ -1,0 +1,117 @@
+"""Tests for routing, latency estimation, and degradation planning."""
+
+import numpy as np
+import pytest
+
+from repro.lap.problem import LAPInstance
+from repro.serve.request import SolveRequest
+from repro.serve.router import LatencyEstimator, Router
+
+
+def _request(size=8, tier="auto", deadline_s=None, submitted_at=0.0):
+    costs = np.random.default_rng(0).random((size, size))
+    return SolveRequest(
+        LAPInstance(costs),
+        tier=tier,
+        deadline_s=deadline_s,
+        submitted_at=submitted_at,
+    )
+
+
+class TestLatencyEstimator:
+    def test_first_observation_is_the_estimate(self):
+        estimator = LatencyEstimator()
+        estimator.observe("hunipu", 8, 0.1)
+        assert estimator.estimate("hunipu", 8) == pytest.approx(0.1)
+
+    def test_ewma_converges(self):
+        estimator = LatencyEstimator(alpha=0.5)
+        estimator.observe("hunipu", 8, 0.1)
+        estimator.observe("hunipu", 8, 0.3)
+        assert estimator.estimate("hunipu", 8) == pytest.approx(0.2)
+
+    def test_unseen_shape_scales_quadratically(self):
+        estimator = LatencyEstimator()
+        estimator.observe("hunipu", 8, 0.1)
+        assert estimator.estimate("hunipu", 16) == pytest.approx(0.4)
+
+    def test_unseen_backend_is_unknown(self):
+        estimator = LatencyEstimator()
+        estimator.observe("hunipu", 8, 0.1)
+        assert estimator.estimate("scipy", 8) is None
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            LatencyEstimator(alpha=0.0)
+
+
+class TestLadders:
+    def test_tier_ladders(self):
+        router = Router()
+        warm = frozenset()
+        assert router.plan(_request(tier="ipu"), warm, 0.0).ladder == (
+            "hunipu",
+            "scipy",
+        )
+        assert router.plan(_request(tier="auto"), warm, 0.0).ladder == (
+            "hunipu",
+            "fastha",
+            "scipy",
+        )
+        assert router.plan(_request(tier="fast"), warm, 0.0).ladder == ("scipy",)
+
+    def test_engine_target_rides_warm_shape(self):
+        router = Router()
+        plan = router.plan(_request(size=7), frozenset({8}), 0.0)
+        assert plan.engine_target == 8
+
+    def test_engine_target_respects_pad_limit(self):
+        router = Router(pad_limit=1.1)
+        plan = router.plan(_request(size=7), frozenset({16}), 0.0)
+        assert plan.engine_target == 7
+
+    def test_backoff_doubles(self):
+        router = Router(backoff_base_s=0.01)
+        assert router.backoff_s(0) == pytest.approx(0.01)
+        assert router.backoff_s(1) == pytest.approx(0.02)
+
+
+class TestPreemptiveDegradation:
+    def test_no_estimate_keeps_full_ladder(self):
+        router = Router()
+        plan = router.plan(_request(deadline_s=0.001), frozenset(), 0.0)
+        assert plan.backend == "hunipu"
+        assert not plan.preempted
+
+    def test_slow_engine_estimate_degrades(self):
+        router = Router()
+        router.estimator.observe("hunipu", 8, 1.0)  # way above the budget
+        plan = router.plan(_request(deadline_s=0.01), frozenset(), 0.0)
+        assert plan.preempted
+        assert plan.backend != "hunipu"
+        assert plan.ladder[-1] == "scipy"
+
+    def test_fast_enough_engine_is_kept(self):
+        router = Router()
+        router.estimator.observe("hunipu", 8, 0.001)
+        plan = router.plan(_request(deadline_s=10.0), frozenset(), 0.0)
+        assert plan.backend == "hunipu"
+        assert not plan.preempted
+        assert plan.estimate_s == pytest.approx(0.001)
+
+    def test_ipu_tier_is_never_preempted(self):
+        router = Router()
+        router.estimator.observe("hunipu", 8, 1.0)
+        plan = router.plan(
+            _request(tier="ipu", deadline_s=0.01), frozenset(), 0.0
+        )
+        assert plan.backend == "hunipu"
+        assert not plan.preempted
+
+    def test_slow_middle_legs_are_skipped_but_backstop_kept(self):
+        router = Router()
+        router.estimator.observe("hunipu", 8, 1.0)
+        router.estimator.observe("fastha", 8, 1.0)
+        plan = router.plan(_request(deadline_s=0.01), frozenset(), 0.0)
+        assert plan.preempted
+        assert plan.ladder == ("scipy",)

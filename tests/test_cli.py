@@ -124,3 +124,63 @@ class TestSolveBatch:
     def test_run_batch_experiment_enumerated(self):
         args = build_parser().parse_args(["run", "batch", "--scale", "quick"])
         assert args.experiment == "batch"
+
+
+class TestServeCommand:
+    def test_serve_defaults_parse(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.requests == 200
+        assert args.workers == 4
+        assert args.mode == "closed"
+        assert not args.verify
+        assert args.stats is None
+
+    def test_serve_stats_schema_and_exit_code(self, capsys, tmp_path):
+        stats_path = tmp_path / "serve.json"
+        assert main([
+            "serve", "--requests", "10", "--workers", "2",
+            "--shapes", "6", "--shapes", "8", "--seed", "0",
+            "--verify", "--stats", str(stats_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lost          : 0" in out
+        assert "checked against scipy, all optimal" in out
+        document = json.loads(stats_path.read_text())
+        assert document["schema"] == "repro.serve/1"
+        requests = document["requests"]
+        accounted = (
+            requests["completed"]
+            + sum(requests["rejected"].values())
+            + requests["in_flight"]
+        )
+        assert requests["submitted"] == accounted
+        from repro.obs.export import validate_document
+
+        validate_document(document)
+
+    def test_serve_fault_injection_exercises_fallbacks(self, capsys, tmp_path):
+        stats_path = tmp_path / "faulty.json"
+        assert main([
+            "serve", "--requests", "12", "--workers", "2",
+            "--shapes", "6", "--seed", "1",
+            "--inject-faults", "1.0",  # every engine run faults
+            "--verify", "--expect-fallbacks", "--stats", str(stats_path),
+        ]) == 0
+        document = json.loads(stats_path.read_text())
+        assert sum(document["fallbacks"].values()) > 0
+        assert document["requests"]["degraded"] > 0
+
+    def test_serve_expect_fallbacks_fails_without_faults(self, capsys):
+        assert main([
+            "serve", "--requests", "4", "--workers", "1",
+            "--shapes", "6", "--expect-fallbacks",
+        ]) == 1
+        assert "degradation path never exercised" in capsys.readouterr().err
+
+    def test_serve_usage_errors(self, capsys):
+        assert main(["serve", "--requests", "0"]) == 2
+        assert main(["serve", "--inject-faults", "1.5"]) == 2
+
+    def test_run_serve_experiment_enumerated(self):
+        args = build_parser().parse_args(["run", "serve", "--scale", "quick"])
+        assert args.experiment == "serve"
