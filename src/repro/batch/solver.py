@@ -48,6 +48,7 @@ from repro.lap.problem import LAPInstance
 from repro.lap.rectangular import padding_value
 from repro.lap.result import AssignmentResult
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.spans import child_span
 from repro.obs.timing import wall_timer
 
 __all__ = [
@@ -236,14 +237,18 @@ class BatchSolver:
         tracing = tracer is not None and tracer.enabled
         if tracing:
             tracer.event("batch_start", instances=len(items))
-        with wall_timer() as timer:
-            results: list[AssignmentResult | None] = [None] * len(items)
-            groups: list[GroupReport] = []
-            if items:
-                fast = isinstance(self.solver, HunIPUSolver)
-                for target, members in self._plan_groups(items):
-                    run_group = self._run_group_fast if fast else self._run_group_generic
-                    groups.append(run_group(target, members, results))
+        with child_span("batch.solve", instances=len(items)) as span:
+            with wall_timer() as timer:
+                results: list[AssignmentResult | None] = [None] * len(items)
+                groups: list[GroupReport] = []
+                if items:
+                    fast = isinstance(self.solver, HunIPUSolver)
+                    for target, members in self._plan_groups(items):
+                        run_group = (
+                            self._run_group_fast if fast else self._run_group_generic
+                        )
+                        groups.append(run_group(target, members, results))
+            span.set(groups=len(groups))
         if tracing:
             tracer.event(
                 "batch_end",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common workflows without writing any code:
+Ten commands cover the common workflows without writing any code:
 
 * ``info`` — the simulated device specs and library version;
 * ``solve`` — solve one synthetic instance with any solver and print the
@@ -10,6 +10,10 @@ Six commands cover the common workflows without writing any code:
   :class:`repro.batch.BatchSolver` and prints per-group statistics;
 * ``profile`` — solve one instance on HunIPU with full instrumentation and
   print the per-step BSP table plus imbalance/convergence diagnostics;
+* ``trace`` — run one span-traced HunIPU solve and export the merged
+  request-span + BSP-superstep timeline as Chrome trace-event / Perfetto
+  JSON (``--perfetto out.json``); ``--convert TRACE.json`` converts an
+  existing ``repro.trace/1`` document instead of solving;
 * ``run`` — regenerate one (or all) of the paper's tables/figures at a
   chosen scale, printing the paper-layout report and optionally saving the
   text report and machine-readable ``BENCH_*.json`` run records;
@@ -21,9 +25,20 @@ Six commands cover the common workflows without writing any code:
 * ``serve`` — boot the concurrent :class:`repro.serve.SolverService`, drive
   it with a seeded synthetic workload (mixed shapes/tiers/deadlines,
   optional fault injection), verify every response against scipy, and
-  optionally write schema-versioned ``repro.serve/1`` stats; exits non-zero
-  if any request is lost or unverified, which is what the serve smoke CI
-  job keys on.
+  optionally write schema-versioned ``repro.serve/1`` stats (periodically,
+  with ``--stats-interval``, for ``repro top`` to watch), a
+  ``repro.spans/1`` span-tree document (``--spans``), and a Prometheus
+  text-format metrics dump (``--prom``); exits non-zero if any request is
+  lost or unverified, which is what the serve smoke CI job keys on;
+* ``stats`` — Prometheus text-format (or JSON) exposition of a metrics
+  registry: from a ``repro.metrics/1`` document (``--input``) or from a
+  quick instrumented solve;
+* ``top`` — live console over a ``repro.serve/1`` stats file: queue depth,
+  per-tier throughput, reject reasons, and latency percentiles redrawn in
+  place every ``--interval`` seconds;
+* ``validate`` — run files through the schema-versioned document
+  validators (:func:`repro.obs.export.validate_document`); the CI
+  schema-lint job keys on its exit code.
 
 Every command accepts ``--log-level`` / ``-v`` (logs go to stderr, so
 stdout stays machine-readable).
@@ -121,6 +136,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write trace + profile + metrics as JSON",
     )
     _add_logging_args(profile)
+
+    trace = sub.add_parser(
+        "trace",
+        help="span-trace one HunIPU solve and export a Perfetto timeline",
+    )
+    _add_instance_args(trace)
+    trace.add_argument(
+        "--perfetto",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="write the merged Chrome trace-event / Perfetto timeline",
+    )
+    trace.add_argument(
+        "--spans",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="also write the raw repro.spans/1 span-tree document",
+    )
+    trace.add_argument(
+        "--convert",
+        type=pathlib.Path,
+        default=None,
+        metavar="TRACE.json",
+        help="convert an existing repro.trace/1 document instead of solving",
+    )
+    _add_logging_args(trace)
 
     run = sub.add_parser("run", help="regenerate a paper table/figure")
     run.add_argument(
@@ -267,7 +310,89 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="write the schema-versioned repro.serve/1 stats document",
     )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="rewrite --stats every S seconds during the run "
+        "(what `repro top` watches)",
+    )
+    serve.add_argument(
+        "--spans",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="trace every request and write the repro.spans/1 document",
+    )
+    serve.add_argument(
+        "--prom",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.prom",
+        help="write the service metrics in Prometheus text format",
+    )
     _add_logging_args(serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="expose a metrics registry in Prometheus text format",
+    )
+    stats.add_argument(
+        "--input",
+        type=pathlib.Path,
+        default=None,
+        metavar="METRICS.json",
+        help="a repro.metrics/1 document to expose (default: run a quick "
+        "instrumented solve and expose its registry)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format (default: prom)",
+    )
+    stats.add_argument(
+        "--size", type=int, default=32, help="solve size when no --input"
+    )
+    stats.add_argument("--seed", type=int, default=0)
+    _add_logging_args(stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live console over a repro.serve/1 stats file",
+    )
+    top.add_argument(
+        "stats_file",
+        type=pathlib.Path,
+        help="stats document to watch (see `repro serve --stats-interval`)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N redraws (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    _add_logging_args(top)
+
+    validate = sub.add_parser(
+        "validate",
+        help="validate schema-versioned JSON documents (CI schema lint)",
+    )
+    validate.add_argument(
+        "files",
+        type=pathlib.Path,
+        nargs="+",
+        help="documents to run through validate_document",
+    )
+    _add_logging_args(validate)
     return parser
 
 
@@ -469,6 +594,172 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        SpanCollector,
+        Tracer,
+        perfetto_from_documents,
+        spans_to_dict,
+        trace_to_dict,
+        validate_document,
+        validate_perfetto,
+        write_json,
+    )
+
+    if args.perfetto is None and args.spans is None:
+        print(
+            "error: nothing to write — pass --perfetto OUT.json (and/or "
+            "--spans OUT.json)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.convert is not None:
+        if args.spans is not None:
+            print(
+                "error: --convert re-exports an existing trace document; "
+                "it records no spans (--spans needs a live solve)",
+                file=sys.stderr,
+            )
+            return 2
+        trace_document = json.loads(args.convert.read_text())
+        validate_document(trace_document)
+        perfetto = perfetto_from_documents(trace_document=trace_document)
+        validate_perfetto(perfetto)
+        path = write_json(args.perfetto, perfetto)
+        print(f"converted     : {args.convert}")
+        print(f"events        : {len(perfetto['traceEvents'])}")
+        print(f"perfetto written : {path}")
+        print("load at https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    from repro.core import HunIPUSolver
+
+    instance = _generate_instance(args)
+    spans = SpanCollector()
+    tracer = Tracer()
+    solver = HunIPUSolver(tracer=tracer)
+    correlation_id = "req-000000"
+    with spans.span(
+        "request",
+        correlation_id=correlation_id,
+        root=True,
+        size=args.size,
+        seed=args.seed,
+    ) as root:
+        result = solver.solve(instance)
+        root.set(cost=result.total_cost)
+    report = result.stats.get("profile")
+    meta = {
+        "instance": instance.name,
+        "distribution": args.distribution,
+        "size": args.size,
+        "seed": args.seed,
+        "solver": result.solver,
+    }
+    spans_document = spans_to_dict(spans, meta=meta)
+    trace_document = trace_to_dict(tracer, report, meta=meta)
+    validate_document(spans_document)
+    validate_document(trace_document)
+
+    print(f"instance      : {instance.name} ({args.distribution}, seed={args.seed})")
+    print(f"optimal cost  : {result.total_cost:.6g}")
+    print(f"spans         : {len(spans)} ({correlation_id})")
+    if report is not None:
+        print(f"supersteps    : {report.supersteps}")
+    if args.spans is not None:
+        path = write_json(args.spans, spans_document)
+        print(f"spans written : {path}")
+    if args.perfetto is not None:
+        perfetto = perfetto_from_documents(
+            spans_document=spans_document, trace_document=trace_document
+        )
+        validate_perfetto(perfetto)
+        path = write_json(args.perfetto, perfetto)
+        print(f"perfetto written : {path}")
+        print("load at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        METRICS_SCHEMA,
+        MetricsRegistry,
+        metrics_to_dict,
+        snapshot_to_prometheus_text,
+        validate_document,
+    )
+
+    if args.input is not None:
+        document = json.loads(args.input.read_text())
+        if document.get("schema") != METRICS_SCHEMA:
+            print(
+                f"error: {args.input} is {document.get('schema')!r}, "
+                f"expected {METRICS_SCHEMA!r}",
+                file=sys.stderr,
+            )
+            return 2
+        validate_document(document)
+        snapshot = document["metrics"]
+    else:
+        from repro.core import HunIPUSolver
+        from repro.data.synthetic import gaussian_instance
+
+        registry = MetricsRegistry()
+        instance = gaussian_instance(args.size, 100, seed=args.seed)
+        HunIPUSolver(metrics=registry).solve(instance)
+        document = metrics_to_dict(registry)
+        snapshot = document["metrics"]
+    if args.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(snapshot_to_prometheus_text(snapshot))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.console import run_top
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    iterations = 1 if args.once else args.iterations
+    return run_top(
+        str(args.stats_file), interval=args.interval, iterations=iterations
+    )
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import SchemaError, validate_document, validate_perfetto
+
+    failures = 0
+    for path in args.files:
+        try:
+            document = json.loads(path.read_text())
+            if isinstance(document, dict) and "traceEvents" in document:
+                # Chrome trace-event / Perfetto output carries no repro
+                # schema stamp; check it against the trace-event shape.
+                validate_perfetto(document)
+                label = "trace-event"
+            else:
+                validate_document(document)
+                label = document.get("schema")
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"OK   {path} ({label})")
+    if failures:
+        print(f"{failures} document(s) failed validation", file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.bench import (
         run_ablations,
@@ -569,7 +860,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.obs import validate_document, write_json
+    import threading
+
+    from repro.obs import (
+        NULL_SPANS,
+        SpanCollector,
+        spans_to_dict,
+        validate_document,
+        write_json,
+    )
     from repro.obs.metrics import MetricsRegistry
     from repro.serve import (
         SolverService,
@@ -586,9 +885,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not 0.0 <= args.inject_faults <= 1.0:
         print("error: --inject-faults must be in [0, 1]", file=sys.stderr)
         return 2
+    if args.stats_interval is not None and args.stats_interval <= 0:
+        print("error: --stats-interval must be positive", file=sys.stderr)
+        return 2
+    if args.stats_interval is not None and args.stats is None:
+        print(
+            "error: --stats-interval needs --stats OUT.json to know where "
+            "to write",
+            file=sys.stderr,
+        )
+        return 2
 
     shapes = tuple(args.shapes) if args.shapes else DEFAULT_SHAPES
     metrics = MetricsRegistry()
+    spans = SpanCollector() if args.spans is not None else NULL_SPANS
     factory = (
         flaky_factory(args.inject_faults, seed=args.seed)
         if args.inject_faults > 0
@@ -606,7 +916,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         pool=pool,
         metrics=metrics,
+        spans=spans,
     )
+    serve_meta = {
+        "seed": args.seed, "mode": args.mode, "shapes": sorted(set(shapes))
+    }
+    stop_writer = threading.Event()
+
+    def _write_stats_loop() -> None:
+        # Periodic rewrite of the stats document so `repro top` (or any
+        # other poller) can watch the run live.
+        while not stop_writer.wait(args.stats_interval):
+            try:
+                write_json(args.stats, service.stats_document(meta=serve_meta))
+            except OSError:  # pragma: no cover - disk full etc.
+                logger.exception("periodic stats write failed")
+
+    writer = None
+    if args.stats_interval is not None:
+        writer = threading.Thread(
+            target=_write_stats_loop, name="serve-stats-writer", daemon=True
+        )
+        writer.start()
     try:
         workload = generate_workload(args.requests, seed=args.seed, shapes=shapes)
         report = run_load(
@@ -621,6 +952,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     finally:
         service.close()
+        stop_writer.set()
+        if writer is not None:
+            writer.join(timeout=5.0)
     document = service.stats_document(
         meta={"seed": args.seed, "mode": args.mode, "shapes": sorted(set(shapes))}
     )
@@ -653,6 +987,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stats is not None:
         path = write_json(args.stats, document)
         print(f"stats written : {path}")
+    if args.spans is not None:
+        spans_document = spans_to_dict(spans, meta=serve_meta)
+        validate_document(spans_document)
+        path = write_json(args.spans, spans_document)
+        print(
+            f"spans written : {path} ({len(spans_document['spans'])} spans)"
+        )
+    if args.prom is not None:
+        args.prom.parent.mkdir(parents=True, exist_ok=True)
+        args.prom.write_text(service.prometheus_text())
+        print(f"prom written  : {args.prom}")
 
     failures = []
     if report.lost > 0:
@@ -688,12 +1033,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

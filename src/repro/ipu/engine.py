@@ -30,6 +30,7 @@ from repro.ipu.compiler import CompiledGraph, ExecutionPlan, compile_graph
 from repro.ipu.graph import ComputeGraph
 from repro.ipu.profiler import ProfileReport, Profiler
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import child_span
 from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.ipu.programs import (
     Copy,
@@ -145,8 +146,13 @@ class Engine:
             "engine run start: mode=%s, tracing=%s", self.mode, self._tracer.enabled
         )
         try:
-            self._run_program(self.compiled.program)
-            report = self._profiler.report()
+            with child_span("engine.run", mode=self.mode) as span:
+                self._run_program(self.compiled.program)
+                report = self._profiler.report()
+                span.set(
+                    supersteps=report.supersteps,
+                    device_seconds=report.device_seconds,
+                )
             logger.debug(
                 "engine run done: %d supersteps, %.6f s device time",
                 report.supersteps,

@@ -4,37 +4,61 @@ The cross-cutting layer every perf PR measures against (see
 ``docs/observability.md``):
 
 * :mod:`repro.obs.trace` — structured per-iteration solver event tracing;
-* :mod:`repro.obs.metrics` — counters / gauges / histograms registry;
+* :mod:`repro.obs.spans` — request-correlated span trees with ambient
+  context propagation (the serving pipeline's per-request story);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms registry with
+  Prometheus text-format exposition;
 * :mod:`repro.obs.timing` — the shared wall-clock timing context manager;
-* :mod:`repro.obs.export` — schema-versioned JSON exporters + validators;
-* :mod:`repro.obs.logging_setup` — CLI logging wiring.
+* :mod:`repro.obs.export` — schema-versioned JSON exporters + validators,
+  including the Chrome trace-event / Perfetto timeline merge;
+* :mod:`repro.obs.logging_setup` — CLI logging wiring with correlation-id
+  stamping.
 """
 
 from repro.obs.export import (
     BENCH_SCHEMA,
     CHECK_SCHEMA,
+    GOLDEN_SCHEMA,
     METRICS_SCHEMA,
     PROFILE_SCHEMA,
     SERVE_SCHEMA,
+    SPANS_SCHEMA,
     TRACE_SCHEMA,
     SchemaError,
     experiment_result_to_dict,
     metrics_to_dict,
+    perfetto_from_documents,
     profile_report_from_dict,
     profile_report_to_dict,
+    spans_to_dict,
     to_jsonable,
     trace_to_dict,
     validate_document,
+    validate_perfetto,
     write_bench_record,
     write_json,
 )
-from repro.obs.logging_setup import resolve_level, setup_logging
+from repro.obs.logging_setup import CorrelationFilter, resolve_level, setup_logging
 from repro.obs.metrics import (
+    BUCKET_PRESETS,
     Counter,
     Gauge,
     Histogram,
+    LATENCY_SECONDS_BUCKETS,
     MetricsRegistry,
     default_registry,
+    metrics_to_prometheus_text,
+    snapshot_to_prometheus_text,
+)
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpanTracer,
+    Span,
+    SpanCollector,
+    child_span,
+    correlation_scope,
+    current_correlation_id,
+    current_span,
 )
 from repro.obs.timing import WallTimer, wall_timer
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
@@ -44,15 +68,28 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "TraceEvent",
+    "Span",
+    "SpanCollector",
+    "NullSpanTracer",
+    "NULL_SPANS",
+    "child_span",
+    "correlation_scope",
+    "current_correlation_id",
+    "current_span",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "BUCKET_PRESETS",
+    "LATENCY_SECONDS_BUCKETS",
     "default_registry",
+    "metrics_to_prometheus_text",
+    "snapshot_to_prometheus_text",
     "WallTimer",
     "wall_timer",
     "setup_logging",
     "resolve_level",
+    "CorrelationFilter",
     "SchemaError",
     "TRACE_SCHEMA",
     "METRICS_SCHEMA",
@@ -60,13 +97,18 @@ __all__ = [
     "BENCH_SCHEMA",
     "CHECK_SCHEMA",
     "SERVE_SCHEMA",
+    "SPANS_SCHEMA",
+    "GOLDEN_SCHEMA",
     "to_jsonable",
     "trace_to_dict",
     "metrics_to_dict",
+    "spans_to_dict",
+    "perfetto_from_documents",
     "profile_report_to_dict",
     "profile_report_from_dict",
     "experiment_result_to_dict",
     "write_bench_record",
     "write_json",
     "validate_document",
+    "validate_perfetto",
 ]

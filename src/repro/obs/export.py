@@ -16,7 +16,19 @@ schema                      produced by
 ``repro.serve/1``           :meth:`repro.serve.SolverService.stats_document`
                             (serving-layer request accounting, latency
                             percentiles, pool/fallback counters)
+``repro.spans/1``           :func:`spans_to_dict` (request-correlated span
+                            trees from :class:`repro.obs.spans.SpanCollector`)
+``repro.golden-trace/1``    ``tests/test_golden_trace.py`` (the committed
+                            bit-exact control-flow fingerprint)
 ==========================  ====================================================
+
+Beyond the schema-stamped documents, :func:`perfetto_from_documents` merges
+a spans document and/or a trace document into Chrome trace-event JSON — the
+``{"traceEvents": [...]}`` format Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` load directly — putting request-level spans and the
+engine's per-superstep BSP slices on one timeline.
+:func:`validate_perfetto` checks that shape (it is not schema-stamped, so
+it is not dispatched through :func:`validate_document`).
 
 Validation is hand-rolled (:func:`validate_document`) rather than a
 ``jsonschema`` dependency: each validator checks the schema stamp and the
@@ -58,6 +70,13 @@ __all__ = [
     "validate_bench_record",
     "validate_check_document",
     "validate_serve_stats",
+    "SPANS_SCHEMA",
+    "GOLDEN_SCHEMA",
+    "spans_to_dict",
+    "validate_spans",
+    "validate_golden_trace",
+    "perfetto_from_documents",
+    "validate_perfetto",
 ]
 
 TRACE_SCHEMA = "repro.trace/1"
@@ -66,6 +85,8 @@ PROFILE_SCHEMA = "repro.profile/1"
 BENCH_SCHEMA = "repro.bench-run/1"
 CHECK_SCHEMA = "repro.check/1"
 SERVE_SCHEMA = "repro.serve/1"
+SPANS_SCHEMA = "repro.spans/1"
+GOLDEN_SCHEMA = "repro.golden-trace/1"
 
 
 class SchemaError(ValueError):
@@ -182,6 +203,153 @@ def trace_to_dict(
 def metrics_to_dict(registry: "MetricsRegistry") -> dict[str, Any]:
     """``repro.metrics/1`` document for one registry snapshot."""
     return {"schema": METRICS_SCHEMA, "metrics": registry.snapshot()}
+
+
+# ----------------------------------------------------------------------
+# Request spans
+# ----------------------------------------------------------------------
+
+
+def spans_to_dict(
+    collector: "SpanCollector", meta: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """``repro.spans/1`` document: every *finished* span of a collector.
+
+    Spans still open when the export runs are omitted (their count is
+    recorded in ``meta.unfinished`` so a truncated export is visible, never
+    silent).
+    """
+    finished = collector.finished()
+    open_count = getattr(collector, "_next_id", len(finished)) - len(finished)
+    document = {
+        "schema": SPANS_SCHEMA,
+        "meta": {"unfinished": max(0, open_count), **(dict(meta) if meta else {})},
+        "spans": [span.to_dict() for span in finished],
+    }
+    return document
+
+
+# ----------------------------------------------------------------------
+# Perfetto / Chrome trace-event timeline
+# ----------------------------------------------------------------------
+
+#: Synthetic process ids of the merged timeline's two tracks.
+_PERFETTO_REQUEST_PID = 1
+_PERFETTO_ENGINE_PID = 2
+
+
+def _perfetto_meta(pid: int, name: str) -> dict[str, Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name},
+    }
+
+
+def perfetto_from_documents(
+    spans_document: Mapping[str, Any] | None = None,
+    trace_document: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Merge spans and/or a BSP trace into Chrome trace-event JSON.
+
+    * Request spans become ``"X"`` (complete) events on the *requests*
+      process (pid 1), one thread lane per correlation id, with the span
+      attributes in ``args``.  Timestamps are rebased so the earliest span
+      starts at 0.
+    * The trace document's supersteps become back-to-back slices on the
+      *engine (modeled)* process (pid 2).  Supersteps carry per-superstep
+      *charges*, not wall timestamps, so the engine lane is the modeled
+      device timeline: slice ``k`` starts where slice ``k-1`` ended.  When
+      the spans document contains an ``engine.run`` span the engine lane is
+      offset to start at that span's start, linking the request tree to the
+      superstep slices it triggered.
+
+    Load the result at https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    if spans_document is None and trace_document is None:
+        raise SchemaError("perfetto export needs a spans and/or trace document")
+    events: list[dict[str, Any]] = []
+
+    engine_offset_s = 0.0
+    if spans_document is not None:
+        validate_spans(spans_document)
+        spans = spans_document["spans"]
+        if spans:
+            base = min(span["start_s"] for span in spans)
+            lanes: dict[str, int] = {}
+            for span in spans:
+                lane = lanes.setdefault(span["correlation_id"], len(lanes) + 1)
+                args = {
+                    "correlation_id": span["correlation_id"],
+                    "span_id": span["span_id"],
+                    "parent_id": span["parent_id"],
+                    "status": span["status"],
+                    **to_jsonable(span.get("attributes", {})),
+                }
+                events.append(
+                    {
+                        "name": span["name"],
+                        "cat": "request",
+                        "ph": "X",
+                        "ts": (span["start_s"] - base) * 1e6,
+                        "dur": max(0.0, (span["end_s"] - span["start_s"]) * 1e6),
+                        "pid": _PERFETTO_REQUEST_PID,
+                        "tid": lane,
+                        "args": args,
+                    }
+                )
+                if span["name"] == "engine.run" and engine_offset_s == 0.0:
+                    engine_offset_s = span["start_s"] - base
+            events.append(_perfetto_meta(_PERFETTO_REQUEST_PID, "requests"))
+            for correlation_id, lane in lanes.items():
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": _PERFETTO_REQUEST_PID,
+                        "tid": lane,
+                        "args": {"name": correlation_id},
+                    }
+                )
+
+    if trace_document is not None:
+        validate_trace(trace_document)
+        cursor_s = engine_offset_s
+        for event in trace_document["events"]:
+            if event["kind"] != "superstep":
+                continue
+            duration_s = float(event.get("total_seconds", 0.0))
+            args = {
+                key: to_jsonable(value)
+                for key, value in event.items()
+                if key not in ("kind", "name")
+            }
+            events.append(
+                {
+                    "name": event["name"],
+                    "cat": "superstep",
+                    "ph": "X",
+                    "ts": cursor_s * 1e6,
+                    "dur": duration_s * 1e6,
+                    "pid": _PERFETTO_ENGINE_PID,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+            cursor_s += duration_s
+        events.append(_perfetto_meta(_PERFETTO_ENGINE_PID, "engine (modeled)"))
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PERFETTO_ENGINE_PID,
+                "tid": 1,
+                "args": {"name": "BSP supersteps"},
+            }
+        )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 # ----------------------------------------------------------------------
@@ -412,7 +580,7 @@ def validate_serve_stats(document: Mapping[str, Any]) -> None:
     _require_keys(
         document,
         ("schema", "meta", "requests", "latency_seconds", "backends",
-         "fallbacks", "pool"),
+         "tiers", "fallbacks", "pool"),
         "serve",
     )
     _require(
@@ -463,6 +631,15 @@ def validate_serve_stats(document: Mapping[str, Any]) -> None:
         f"backends account for {served} requests, "
         f"completed says {requests['completed']}",
     )
+    tiers = document["tiers"]
+    _require(isinstance(tiers, Mapping), "serve.tiers", "expected an object")
+    tiered = sum(int(count) for count in tiers.values())
+    _require(
+        tiered == int(requests["completed"]),
+        "serve.tiers",
+        f"tiers account for {tiered} requests, "
+        f"completed says {requests['completed']}",
+    )
     _require_keys(
         document["latency_seconds"],
         ("count", "p50", "p95", "p99"),
@@ -479,6 +656,119 @@ def validate_serve_stats(document: Mapping[str, Any]) -> None:
     )
 
 
+def validate_spans(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.spans/1`` document.
+
+    Beyond key presence this enforces the span-tree invariants the
+    timeline export depends on: unique span ids, parents that exist and
+    share the child's correlation id, ``end >= start``, and a known
+    status on every span.
+    """
+    from repro.obs.spans import SPAN_STATUSES
+
+    _require_keys(document, ("schema", "meta", "spans"), "spans")
+    _require(
+        document["schema"] == SPANS_SCHEMA,
+        "spans.schema",
+        f"expected {SPANS_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require(isinstance(document["spans"], list), "spans.spans", "expected a list")
+    seen: dict[int, Mapping[str, Any]] = {}
+    for index, span in enumerate(document["spans"]):
+        path = f"spans.spans[{index}]"
+        _require_keys(
+            span,
+            ("span_id", "name", "correlation_id", "parent_id", "start_s",
+             "end_s", "status"),
+            path,
+        )
+        span_id = span["span_id"]
+        _require(
+            span_id not in seen, f"{path}.span_id", f"duplicate span id {span_id}"
+        )
+        seen[span_id] = span
+        _require(
+            span["status"] in SPAN_STATUSES,
+            f"{path}.status",
+            f"unknown status {span['status']!r}",
+        )
+        _require(
+            float(span["end_s"]) >= float(span["start_s"]),
+            f"{path}.end_s",
+            f"span ends ({span['end_s']}) before it starts ({span['start_s']})",
+        )
+    for index, span in enumerate(document["spans"]):
+        parent_id = span["parent_id"]
+        if parent_id is None:
+            continue
+        path = f"spans.spans[{index}].parent_id"
+        parent = seen.get(parent_id)
+        _require(
+            parent is not None, path, f"parent span {parent_id} not in document"
+        )
+        _require(
+            parent["correlation_id"] == span["correlation_id"],
+            path,
+            f"parent {parent_id} has correlation id "
+            f"{parent['correlation_id']!r}, child has "
+            f"{span['correlation_id']!r}",
+        )
+
+
+def validate_golden_trace(document: Mapping[str, Any]) -> None:
+    """Structural validation of the ``repro.golden-trace/1`` fixture."""
+    _require_keys(
+        document,
+        ("schema", "instance", "total_cost", "supersteps", "augmentations",
+         "loops", "branches"),
+        "golden",
+    )
+    _require(
+        document["schema"] == GOLDEN_SCHEMA,
+        "golden.schema",
+        f"expected {GOLDEN_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require(
+        int(document["supersteps"]) > 0, "golden.supersteps", "must be positive"
+    )
+    _require(
+        isinstance(document["loops"], Mapping), "golden.loops", "expected an object"
+    )
+    _require(
+        isinstance(document["branches"], Mapping),
+        "golden.branches",
+        "expected an object",
+    )
+
+
+def validate_perfetto(document: Mapping[str, Any]) -> None:
+    """Check a Chrome trace-event / Perfetto JSON object's shape.
+
+    Perfetto JSON is an external format with no ``schema`` stamp, so this
+    is a standalone check (not dispatched by :func:`validate_document`):
+    the JSON-object form with a ``traceEvents`` list whose members carry a
+    phase, and whose duration events carry non-negative microsecond
+    timestamps.
+    """
+    _require_keys(document, ("traceEvents",), "perfetto")
+    _require(
+        isinstance(document["traceEvents"], list),
+        "perfetto.traceEvents",
+        "expected a list",
+    )
+    for index, event in enumerate(document["traceEvents"]):
+        path = f"perfetto.traceEvents[{index}]"
+        _require_keys(event, ("name", "ph"), path)
+        if event["ph"] == "X":
+            _require_keys(event, ("ts", "dur", "pid", "tid"), path)
+            _require(
+                float(event["ts"]) >= 0.0, f"{path}.ts", "negative timestamp"
+            )
+            _require(
+                float(event["dur"]) >= 0.0, f"{path}.dur", "negative duration"
+            )
+
+
 _VALIDATORS = {
     TRACE_SCHEMA: validate_trace,
     METRICS_SCHEMA: validate_metrics,
@@ -486,6 +776,8 @@ _VALIDATORS = {
     BENCH_SCHEMA: validate_bench_record,
     CHECK_SCHEMA: validate_check_document,
     SERVE_SCHEMA: validate_serve_stats,
+    SPANS_SCHEMA: validate_spans,
+    GOLDEN_SCHEMA: validate_golden_trace,
 }
 
 

@@ -5,6 +5,13 @@ and no handlers — so embedding applications keep full control.  The CLI (and
 scripts that want the same) call :func:`setup_logging` once to attach a
 single stream handler to the ``repro`` root logger.  Calling it again just
 adjusts the level (idempotent), so tests can flip verbosity freely.
+
+Every line carries a **correlation id** field: the serving pipeline wraps
+each request's processing in :func:`repro.obs.spans.correlation_scope` (or
+an active span), and :class:`CorrelationFilter` stamps the ambient id into
+the record.  ``grep req-000042`` then finds one request's full journey
+across service, router, pool, and engine log lines; uncorrelated lines show
+``-``.
 """
 
 from __future__ import annotations
@@ -13,10 +20,26 @@ import logging
 import sys
 from typing import TextIO
 
-__all__ = ["setup_logging", "resolve_level"]
+__all__ = ["CorrelationFilter", "setup_logging", "resolve_level"]
 
-_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s [%(correlation_id)s]: %(message)s"
 _HANDLER_FLAG = "_repro_obs_handler"
+
+
+class CorrelationFilter(logging.Filter):
+    """Stamp the ambient correlation id onto every record (default ``-``).
+
+    Implemented as a filter (always returns True) so the format string can
+    reference ``%(correlation_id)s`` unconditionally; records logged
+    outside any request scope are tagged ``-``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "correlation_id"):
+            from repro.obs.spans import current_correlation_id
+
+            record.correlation_id = current_correlation_id() or "-"
+        return True
 
 #: CLI-facing level names (a strict subset of the stdlib's, lowercase).
 _LEVELS = {
@@ -70,6 +93,7 @@ def setup_logging(
         handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
         handler.setLevel(level)
         handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.addFilter(CorrelationFilter())
         setattr(handler, _HANDLER_FLAG, True)
         logger.addHandler(handler)
     return logger

@@ -21,20 +21,41 @@ so multi-field instruments (histograms) export a consistent view.
 from __future__ import annotations
 
 import dataclasses
+import re
 import threading
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_SECONDS_BUCKETS",
+    "BUCKET_PRESETS",
     "MetricsRegistry",
     "default_registry",
+    "metrics_to_prometheus_text",
+    "prometheus_name",
+    "snapshot_to_prometheus_text",
 ]
 
 #: Default histogram bucket boundaries: powers of four from 1 — wide
-#: enough for byte volumes and cycle counts alike.
+#: enough for byte volumes and cycle counts alike.  Useless for sub-second
+#: request latencies (everything lands in the first bucket); latency
+#: histograms must use :data:`LATENCY_SECONDS_BUCKETS` instead.
 _DEFAULT_BUCKETS = tuple(4.0**exponent for exponent in range(0, 16))
+
+#: Latency-seconds preset: 250 µs to 30 s in roughly 1-2.5-5 decades, the
+#: range where the serving layer's request latencies actually live.
+LATENCY_SECONDS_BUCKETS = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Named bucket presets (``Histogram(..., buckets=BUCKET_PRESETS[name])``).
+BUCKET_PRESETS = {
+    "default": _DEFAULT_BUCKETS,
+    "latency_seconds": LATENCY_SECONDS_BUCKETS,
+}
 
 
 @dataclasses.dataclass
@@ -226,3 +247,84 @@ _DEFAULT = MetricsRegistry()
 def default_registry() -> MetricsRegistry:
     """The library-wide registry for cheap always-on metrics."""
     return _DEFAULT
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format exposition
+# ----------------------------------------------------------------------
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LEADING = re.compile(r"^[^a-zA-Z_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize an instrument name into a legal Prometheus metric name.
+
+    Dots (the library's namespace separator) and any other illegal
+    characters become underscores; a leading digit gets an underscore
+    prefix.
+    """
+    sanitized = _PROM_INVALID.sub("_", name)
+    if _PROM_LEADING.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def snapshot_to_prometheus_text(snapshot: Mapping[str, Mapping]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format.
+
+    Counters/gauges become single samples; histograms expand into the
+    canonical ``_bucket{le=...}`` / ``_sum`` / ``_count`` series with a
+    terminal ``le="+Inf"`` bucket equal to the count.  Output ends with a
+    newline (the exposition-format requirement scrapers check).
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        instrument = snapshot[name]
+        kind = instrument["type"]
+        prom = prometheus_name(name)
+        help_text = instrument.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {prom} {_prom_escape_help(help_text)}")
+        if kind == "counter":
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(instrument['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(instrument['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            buckets = instrument["buckets"]
+            counts = instrument["bucket_counts"]
+            for bound, count in zip(buckets, counts):
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} {count}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {instrument["count"]}')
+            lines.append(f"{prom}_sum {_prom_value(instrument['sum'])}")
+            lines.append(f"{prom}_count {instrument['count']}")
+        else:  # pragma: no cover - snapshot only emits the three kinds
+            raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text-format exposition of a live registry."""
+    return snapshot_to_prometheus_text(registry.snapshot())

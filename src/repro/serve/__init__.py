@@ -18,6 +18,7 @@ deadline-aware endpoint:
 See ``docs/serving.md`` for the architecture walkthrough.
 """
 
+from repro.serve.console import render_top, run_top
 from repro.serve.faults import FlakyEngineSolver, flaky_factory
 from repro.serve.loadgen import (
     LoadReport,
@@ -30,6 +31,7 @@ from repro.serve.request import (
     QUALITY_TIERS,
     REJECT_CODES,
     RejectReason,
+    RequestSpans,
     SolveRequest,
     SolveResponse,
     Ticket,
@@ -47,6 +49,7 @@ __all__ = [
     "QUALITY_TIERS",
     "REJECT_CODES",
     "RejectReason",
+    "RequestSpans",
     "RoutePlan",
     "Router",
     "SolveRequest",
@@ -59,5 +62,7 @@ __all__ = [
     "generate_workload",
     "latency_summary",
     "percentile",
+    "render_top",
     "run_load",
+    "run_top",
 ]

@@ -1,0 +1,175 @@
+"""``repro top`` — a live text console over the service's stats document.
+
+The service (or ``repro serve --stats-interval``) periodically writes its
+schema-versioned ``repro.serve/1`` stats document to a file; this module
+renders that document as a fixed-layout dashboard — queue depth, per-tier
+throughput, reject reasons, latency percentiles — and :func:`run_top`
+re-reads and redraws it in place (ANSI home + clear) like ``top`` does.
+
+Rendering is pure (document in, string out) so tests can pin the layout
+without a terminal, and throughput deltas come from diffing two successive
+documents rather than any internal counters — the console works on any
+stats file, live or archived.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from time import sleep
+from typing import Any, Callable, Mapping, TextIO
+
+__all__ = ["render_top", "run_top"]
+
+#: ANSI: cursor home + clear-to-end (redraw in place without flicker).
+_REDRAW = "\x1b[H\x1b[J"
+
+
+def _rate(now: Mapping[str, Any], previous: Mapping[str, Any] | None,
+          path: tuple[str, ...], interval: float | None) -> float | None:
+    """Counter delta between two documents, per second; None when unknown."""
+    if previous is None or not interval or interval <= 0:
+        return None
+
+    def dig(document: Mapping[str, Any]) -> float | None:
+        node: Any = document
+        for key in path:
+            if not isinstance(node, Mapping) or key not in node:
+                return None
+            node = node[key]
+        return float(node) if isinstance(node, (int, float)) else None
+
+    current, prior = dig(now), dig(previous)
+    if current is None or prior is None:
+        return None
+    return max(0.0, current - prior) / interval
+
+
+def _bar(value: float, ceiling: float, width: int = 20) -> str:
+    """A bounded ASCII meter, full at ``ceiling``."""
+    if ceiling <= 0:
+        return "[" + " " * width + "]"
+    filled = min(width, int(round(width * min(1.0, value / ceiling))))
+    return "[" + "#" * filled + " " * (width - filled) + "]"
+
+
+def _fmt_ms(seconds: Any) -> str:
+    if not isinstance(seconds, (int, float)):
+        return "-"
+    return f"{float(seconds) * 1000.0:8.2f}ms"
+
+
+def render_top(
+    document: Mapping[str, Any],
+    previous: Mapping[str, Any] | None = None,
+    *,
+    interval: float | None = None,
+) -> str:
+    """Render one ``repro.serve/1`` stats document as the top screen.
+
+    ``previous`` (the document from one ``interval`` ago) turns per-tier
+    and completion counters into req/s rates; without it the console shows
+    cumulative totals only.
+    """
+    requests = document.get("requests", {})
+    queue = document.get("queue", {})
+    meta = document.get("meta", {})
+    latency = document.get("latency_seconds", {})
+    pool = document.get("pool", {})
+    batching = document.get("batching", {})
+    capacity = meta.get("queue_capacity", 0)
+    depth = queue.get("depth", 0)
+
+    lines: list[str] = []
+    lines.append(
+        f"repro top — {meta.get('workers', '?')} workers, "
+        f"queue {depth}/{capacity} {_bar(float(depth), float(capacity or 1))} "
+        f"peak {queue.get('peak_depth', 0)}"
+    )
+    completed_rate = _rate(document, previous, ("requests", "completed"), interval)
+    rate_note = "" if completed_rate is None else f"  ({completed_rate:.1f} req/s)"
+    lines.append(
+        f"requests  submitted {requests.get('submitted', 0):>7}  "
+        f"completed {requests.get('completed', 0):>7}{rate_note}  "
+        f"in-flight {requests.get('in_flight', 0):>4}  "
+        f"degraded {requests.get('degraded', 0):>5}  "
+        f"deadline-missed {requests.get('deadline_missed', 0)}"
+    )
+    lines.append(
+        f"latency   p50 {_fmt_ms(latency.get('p50'))}  "
+        f"p95 {_fmt_ms(latency.get('p95'))}  "
+        f"p99 {_fmt_ms(latency.get('p99'))}  "
+        f"max {_fmt_ms(latency.get('max'))}  "
+        f"(n={latency.get('count', 0)})"
+    )
+
+    tiers = document.get("tiers", {})
+    if tiers:
+        lines.append("tiers")
+        for tier, count in sorted(tiers.items()):
+            tier_rate = _rate(document, previous, ("tiers", tier), interval)
+            note = "" if tier_rate is None else f"  {tier_rate:6.1f} req/s"
+            lines.append(f"  {tier:<8} {count:>7}{note}")
+
+    rejected = requests.get("rejected", {})
+    if rejected:
+        lines.append("rejects")
+        for code, count in sorted(rejected.items()):
+            lines.append(f"  {code:<18} {count:>7}")
+
+    backends = document.get("backends", {})
+    if backends:
+        pairs = "  ".join(
+            f"{name}={count}" for name, count in sorted(backends.items())
+        )
+        lines.append(f"backends  {pairs}")
+
+    lines.append(
+        f"pool      hits {pool.get('hits', 0)}  misses {pool.get('misses', 0)}  "
+        f"evictions {pool.get('evictions', 0)}  leased {pool.get('leased', 0)}  "
+        f"resident {pool.get('resident_bytes', 0)} B"
+    )
+    lines.append(
+        f"batching  batches {batching.get('batches', 0)}  "
+        f"coalesced {batching.get('coalesced', 0)}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    path: str,
+    *,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    stream: TextIO | None = None,
+    sleeper: Callable[[float], None] = sleep,
+) -> int:
+    """Poll ``path`` and redraw the console until ``iterations`` runs out.
+
+    Transient read failures (the writer mid-rewrite, the file not there
+    yet) keep the previous frame and retry; the exit code is 0 when at
+    least one frame rendered, 1 when none ever did.
+    """
+    out = stream if stream is not None else sys.stdout
+    previous: Mapping[str, Any] | None = None
+    rendered = 0
+    count = 0
+    while iterations is None or count < iterations:
+        count += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            document = None
+        if document is not None:
+            frame = render_top(
+                document, previous, interval=interval if previous else None
+            )
+            out.write(_REDRAW + frame)
+            out.flush()
+            previous = document
+            rendered += 1
+        if iterations is not None and count >= iterations:
+            break
+        sleeper(interval)
+    return 0 if rendered else 1

@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro.core.solver import HunIPUSolver
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.spans import child_span
 
 __all__ = ["EngineLease", "WarmEnginePool"]
 
@@ -145,7 +146,8 @@ class WarmEnginePool:
             "serve.pool.misses", "engine leases that had to compile"
         ).inc()
         solver = self._factory()
-        compiled = solver.compiled_for(size)
+        with child_span("pool.compile", size=size):
+            compiled = solver.compiled_for(size)
         nbytes = sum(compiled.engine.compiled.memory_per_tile.values())
         logger.info(
             "warm pool compiled n=%d (%d bytes of mapped tensors)", size, nbytes

@@ -30,6 +30,7 @@ __all__ = [
     "QUALITY_TIERS",
     "REJECT_CODES",
     "RejectReason",
+    "RequestSpans",
     "SolveRequest",
     "SolveResponse",
     "Ticket",
@@ -87,6 +88,9 @@ class SolveRequest:
     deadline_s: float | None = None
     request_id: int = -1
     submitted_at: float = dataclasses.field(default=0.0, compare=False)
+    #: Correlation id shared by every span and log line of this request
+    #: (``req-<id>`` stamped by the service at submission).
+    correlation_id: str = dataclasses.field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.tier not in QUALITY_TIERS:
@@ -139,6 +143,7 @@ class SolveResponse:
     service_s: float = 0.0
     latency_s: float = 0.0
     deadline_missed: bool = False  # completed, but after its deadline
+    correlation_id: str = ""  # mirrors the request's span/log correlation id
 
     def __post_init__(self) -> None:
         if self.status not in ("completed", "rejected"):
@@ -153,6 +158,25 @@ class SolveResponse:
         return self.status == "completed"
 
 
+class RequestSpans:
+    """Span handles of one request's journey through the service.
+
+    The service opens ``root`` (name ``request``) at submission, ``queue``
+    right after a successful enqueue, and ``execute`` when a worker picks
+    the ticket up; each is ended exactly once on whichever terminal path
+    the request takes (complete, reject, degrade).  ``None`` slots mean the
+    request never reached that stage (e.g. admission rejects have no
+    ``execute`` span).
+    """
+
+    __slots__ = ("root", "queue", "execute")
+
+    def __init__(self) -> None:
+        self.root: Any | None = None
+        self.queue: Any | None = None
+        self.execute: Any | None = None
+
+
 class Ticket:
     """Handle returned by :meth:`repro.serve.SolverService.submit`.
 
@@ -163,6 +187,7 @@ class Ticket:
 
     def __init__(self, request: SolveRequest) -> None:
         self.request = request
+        self.spans = RequestSpans()
         self._done = threading.Event()
         self._response: SolveResponse | None = None
         self._cancelled = False
@@ -221,6 +246,7 @@ def extra_of(response: SolveResponse) -> dict[str, Any]:
     """Flat JSON-ready summary of a response (load-generator reports)."""
     return {
         "request_id": response.request_id,
+        "correlation_id": response.correlation_id,
         "status": response.status,
         "backend": response.backend,
         "degraded": response.degraded,

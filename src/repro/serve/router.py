@@ -38,11 +38,14 @@ warm engine of a slightly larger size (the batch engine's padding policy,
 from __future__ import annotations
 
 import dataclasses
+import logging
 import threading
 
 from repro.batch.solver import choose_target
 
 __all__ = ["LatencyEstimator", "RoutePlan", "Router"]
+
+logger = logging.getLogger(__name__)
 
 #: Backend identifiers (also the keys of the stats export's breakdown).
 BACKENDS = ("hunipu", "fastha", "scipy")
@@ -174,6 +177,13 @@ class Router:
         # ladder legs whose estimate also exceeds the budget, but always
         # keep the final leg as the backstop.
         trimmed = list(ladder[1:])
+        logger.info(
+            "preemptive degradation for request %d: engine estimate %.4fs "
+            "exceeds remaining budget %.4fs",
+            request.request_id,
+            estimate,
+            remaining,
+        )
         while len(trimmed) > 1:
             leg_estimate = self.estimator.estimate(trimmed[0], request.size)
             if leg_estimate is not None and leg_estimate > remaining:

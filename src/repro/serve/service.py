@@ -37,6 +37,7 @@ latency.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import threading
 from collections import deque
@@ -49,7 +50,13 @@ from repro.errors import ExecutionError, InvalidProblemError, ReproError, Solver
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
 from repro.obs.export import SERVE_SCHEMA
-from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.metrics import (
+    LATENCY_SECONDS_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    metrics_to_prometheus_text,
+)
+from repro.obs.spans import NULL_SPANS, NullSpanTracer, child_span, correlation_scope
 from repro.serve.pool import WarmEnginePool
 from repro.serve.request import RejectReason, SolveRequest, SolveResponse, Ticket
 from repro.serve.router import LatencyEstimator, Router
@@ -97,6 +104,12 @@ class SolverService:
     metrics:
         Registry for ``serve.*`` instruments (shared with the pool unless
         the pool was passed in pre-built).
+    spans:
+        Span sink for per-request span trees
+        (:class:`~repro.obs.spans.SpanCollector`).  Defaults to
+        :data:`~repro.obs.spans.NULL_SPANS` — disabled, near-zero cost.
+        Every request is tagged with a ``req-<id>`` correlation id either
+        way, so log lines stay greppable even without span tracing.
     """
 
     def __init__(
@@ -112,6 +125,7 @@ class SolverService:
         router: Router | None = None,
         verify: bool = False,
         metrics: MetricsRegistry | None = None,
+        spans: NullSpanTracer = NULL_SPANS,
     ) -> None:
         if workers < 1:
             raise SolverError(f"workers must be >= 1, got {workers}")
@@ -128,6 +142,7 @@ class SolverService:
         self.pool = pool
         self.router = router if router is not None else Router(LatencyEstimator())
         self.verify = verify
+        self.spans = spans
         self.max_batch = int(max_batch)
         self.batch_window_s = float(batch_window_s)
         self.queue_capacity = int(queue_capacity)
@@ -148,6 +163,7 @@ class SolverService:
         self._peak_queue_depth = 0
         self._rejected: dict[str, int] = {}
         self._backends: dict[str, int] = {}
+        self._tiers: dict[str, int] = {}
         self._fallbacks = {"engine_error": 0, "deadline": 0, "retries": 0}
         self._batches = 0
         self._coalesced = 0
@@ -183,11 +199,31 @@ class SolverService:
         Admission is non-blocking: a full queue, a closed service, or an
         invalid request resolves the ticket *rejected* with a typed reason
         right away.
+
+        Every submission — admitted or not — is stamped with a
+        ``req-<id>`` correlation id carried by its request, its response,
+        its span tree, and (via :func:`repro.obs.spans.correlation_scope`)
+        every log line it causes.
         """
         now = monotonic()
         with self._cond:
             request_id = self._next_id
             self._next_id += 1
+        correlation_id = f"req-{request_id:06d}"
+        with correlation_scope(correlation_id):
+            return self._admit(
+                instance, tier, deadline_s, request_id, correlation_id, now
+            )
+
+    def _admit(
+        self,
+        instance: LAPInstance,
+        tier: str,
+        deadline_s: float | None,
+        request_id: int,
+        correlation_id: str,
+        now: float,
+    ) -> Ticket:
         try:
             request = SolveRequest(
                 instance=instance,
@@ -195,15 +231,20 @@ class SolverService:
                 deadline_s=deadline_s,
                 request_id=request_id,
                 submitted_at=now,
+                correlation_id=correlation_id,
             )
         except InvalidProblemError as exc:
             fallback_request = SolveRequest(
-                instance=instance, request_id=request_id, submitted_at=now
+                instance=instance,
+                request_id=request_id,
+                submitted_at=now,
+                correlation_id=correlation_id,
             )
-            return self._reject_ticket(
-                Ticket(fallback_request), "invalid", str(exc), admitted=False
-            )
+            ticket = Ticket(fallback_request)
+            self._open_root_span(ticket)
+            return self._reject_ticket(ticket, "invalid", str(exc), admitted=False)
         ticket = Ticket(request)
+        self._open_root_span(ticket)
         with self._cond:
             if self._stopping:
                 return self._reject_ticket(
@@ -222,6 +263,15 @@ class SolverService:
             with self._stats_lock:
                 self._submitted += 1
                 self._in_flight += 1
+            # The queue span must exist before the append: the moment a
+            # worker can see the ticket it may dequeue it and end the span.
+            if self.spans.enabled:
+                ticket.spans.queue = self.spans.start(
+                    "queue",
+                    correlation_id=correlation_id,
+                    parent=ticket.spans.root,
+                    depth=len(self._queue),
+                )
             self._queue.append(ticket)
             depth = len(self._queue)
             self._cond.notify()
@@ -229,7 +279,28 @@ class SolverService:
             self._peak_queue_depth = max(self._peak_queue_depth, depth)
         self.metrics.counter("serve.submitted", "requests admitted or rejected").inc()
         self.metrics.gauge("serve.queue_depth", "admission queue depth").set(depth)
+        logger.debug(
+            "admitted request %d (tier=%s, n=%d, depth=%d)",
+            request_id,
+            request.tier,
+            request.size,
+            depth,
+        )
         return ticket
+
+    def _open_root_span(self, ticket: Ticket) -> None:
+        """Open the per-request root span (name ``request``)."""
+        if not self.spans.enabled:
+            return
+        request = ticket.request
+        ticket.spans.root = self.spans.start(
+            "request",
+            correlation_id=request.correlation_id,
+            root=True,
+            request_id=request.request_id,
+            tier=request.tier,
+            size=request.size,
+        )
 
     def solve(
         self,
@@ -256,6 +327,7 @@ class SolverService:
             request_id=ticket.request_id,
             status="rejected",
             reject=RejectReason(code, detail),
+            correlation_id=ticket.request.correlation_id,
         )
         if ticket._resolve(response):
             with self._stats_lock:
@@ -267,6 +339,16 @@ class SolverService:
             self.metrics.counter(
                 f"serve.rejected.{code}", f"requests rejected: {code}"
             ).inc()
+            if self.spans.enabled:
+                spans = ticket.spans
+                if spans.queue is not None:
+                    self.spans.end(spans.queue, "rejected")
+                if spans.execute is not None:
+                    self.spans.end(spans.execute, "rejected")
+                if spans.root is not None:
+                    spans.root.set(reject=code)
+                    self.spans.end(spans.root, "rejected")
+            logger.info("rejected request %d: %s (%s)", ticket.request_id, code, detail)
         return ticket
 
     # ------------------------------------------------------------------
@@ -319,26 +401,53 @@ class SolverService:
 
     def _dispatch(self, head: Ticket) -> None:
         """Plan, micro-batch, and execute starting from ``head``."""
-        now = monotonic()
-        plan = self.router.plan(head.request, self.pool.warm_sizes(), now)
-        batch = [head]
-        if plan.backend == "hunipu" and self.max_batch > 1:
-            batch += self._coalesce(head, plan)
-        if len(batch) > 1:
+        with correlation_scope(head.request.correlation_id):
+            self._mark_dequeued(head)
+            now = monotonic()
+            plan = self.router.plan(head.request, self.pool.warm_sizes(), now)
+            batch = [head]
+            if plan.backend == "hunipu" and self.max_batch > 1:
+                batch += self._coalesce(head, plan)
+            if len(batch) > 1:
+                with self._stats_lock:
+                    self._coalesced += len(batch) - 1
+                self.metrics.histogram(
+                    "serve.batch_size",
+                    "engine micro-batch sizes",
+                    buckets=tuple(float(2**i) for i in range(0, 8)),
+                ).observe(len(batch))
             with self._stats_lock:
-                self._coalesced += len(batch) - 1
-            self.metrics.histogram(
-                "serve.batch_size",
-                "engine micro-batch sizes",
-                buckets=tuple(float(2**i) for i in range(0, 8)),
-            ).observe(len(batch))
-        with self._stats_lock:
-            self._batches += 1
-        if plan.backend == "hunipu":
-            self._execute_engine_batch(batch, plan)
-        else:
-            for ticket in batch:
-                self._execute_ladder(ticket, plan, lease=None)
+                self._batches += 1
+            if plan.backend == "hunipu":
+                self._execute_engine_batch(batch, plan)
+            else:
+                for ticket in batch:
+                    self._execute_ladder(ticket, plan, lease=None)
+
+    def _mark_dequeued(self, ticket: Ticket) -> None:
+        """A worker picked the ticket up: close ``queue``, open ``execute``."""
+        if not self.spans.enabled:
+            return
+        spans = ticket.spans
+        if spans.queue is not None:
+            self.spans.end(spans.queue)
+        if spans.root is not None and spans.execute is None:
+            spans.execute = self.spans.start(
+                "execute",
+                correlation_id=ticket.request.correlation_id,
+                parent=spans.root,
+            )
+
+    def _execute_scope(self, ticket: Ticket):
+        """Context manager making the ticket's ``execute`` span ambient.
+
+        Inside it, :func:`repro.obs.spans.child_span` calls from deep
+        layers (the batch solver, the BSP engine, the pool's compile path)
+        attach to this request's tree.  A no-op when spans are disabled.
+        """
+        if self.spans.enabled and ticket.spans.execute is not None:
+            return self.spans.activate(ticket.spans.execute)
+        return contextlib.nullcontext()
 
     def _coalesce(self, head: Ticket, plan) -> list[Ticket]:
         """Pull queued engine-bound tickets that share ``head``'s shape.
@@ -364,6 +473,7 @@ class SolverService:
                         candidate_plan.backend == "hunipu"
                         and candidate_plan.engine_target == plan.engine_target
                     ):
+                        self._mark_dequeued(candidate)
                         gathered.append(candidate)
                     else:
                         keep.append(candidate)
@@ -384,93 +494,111 @@ class SolverService:
     # ------------------------------------------------------------------
 
     def _execute_engine_batch(self, tickets: list[Ticket], plan) -> None:
-        """Run an engine micro-batch; on faults, fall back per request."""
-        lease = self.pool.acquire(plan.engine_target)
-        try:
-            started = monotonic()
+        """Run an engine micro-batch; on faults, fall back per request.
+
+        The head ticket's ``execute`` span is ambient for the shared work
+        (pool lease, batch solve, engine run), so the per-step engine story
+        hangs off the request that triggered the batch; members record the
+        shared run via their ``batched`` attribute.
+        """
+        head = tickets[0]
+        with self._execute_scope(head):
+            lease = self.pool.acquire(plan.engine_target)
             try:
-                batch_solver = BatchSolver(
-                    lease.solver, pad_limit=self.router.pad_limit
+                started = monotonic()
+                try:
+                    batch_solver = BatchSolver(
+                        lease.solver, pad_limit=self.router.pad_limit
+                    )
+                    outcome = batch_solver.solve_batch(
+                        [ticket.request.instance for ticket in tickets]
+                    )
+                except ExecutionError as exc:
+                    logger.warning(
+                        "engine micro-batch of %d failed (%s); degrading per request",
+                        len(tickets),
+                        exc,
+                    )
+                    # Each member gets re-attempted individually — that is one
+                    # engine retry per request, and the accounting must show it.
+                    with self._stats_lock:
+                        self._fallbacks["retries"] += len(tickets)
+                    self.metrics.counter(
+                        "serve.retries", "engine retries after faults"
+                    ).inc(len(tickets))
+                    sleep(self.router.backoff_s(0))
+                    for ticket in tickets:
+                        self._execute_ladder(ticket, plan, lease=lease)
+                    return
+                elapsed = monotonic() - started
+                per_request = elapsed / len(tickets)
+                self.router.estimator.observe(
+                    "hunipu", plan.engine_target, per_request
                 )
-                outcome = batch_solver.solve_batch(
-                    [ticket.request.instance for ticket in tickets]
-                )
-            except ExecutionError as exc:
-                logger.warning(
-                    "engine micro-batch of %d failed (%s); degrading per request",
-                    len(tickets),
-                    exc,
-                )
-                # Each member gets re-attempted individually — that is one
-                # engine retry per request, and the accounting must show it.
-                with self._stats_lock:
-                    self._fallbacks["retries"] += len(tickets)
-                self.metrics.counter(
-                    "serve.retries", "engine retries after faults"
-                ).inc(len(tickets))
-                sleep(self.router.backoff_s(0))
-                for ticket in tickets:
-                    self._execute_ladder(ticket, plan, lease=lease)
-                return
-            elapsed = monotonic() - started
-            per_request = elapsed / len(tickets)
-            self.router.estimator.observe(
-                "hunipu", plan.engine_target, per_request
-            )
-            for ticket, result in zip(tickets, outcome.results):
-                self._complete(
-                    ticket,
-                    result,
-                    backend="hunipu",
-                    plan=plan,
-                    retries=0,
-                    batched=len(tickets),
-                    service_s=per_request,
-                )
-        finally:
-            lease.release()
+                for ticket, result in zip(tickets, outcome.results):
+                    self._complete(
+                        ticket,
+                        result,
+                        backend="hunipu",
+                        plan=plan,
+                        retries=0,
+                        batched=len(tickets),
+                        service_s=per_request,
+                    )
+            finally:
+                lease.release()
 
     def _execute_ladder(self, ticket: Ticket, plan, lease) -> None:
-        """Walk one ticket down its backend ladder (engine leg first)."""
+        """Walk one ticket down its backend ladder (engine leg first).
+
+        Each leg runs inside a ``backend.<name>`` child span of the
+        ticket's ``execute`` span; a leg that raises is recorded with
+        ``status="error"`` before the ladder descends, so degraded and
+        fallback journeys leave a complete span tree.
+        """
         request = ticket.request
         retries = 0
         descended_on_error = False
-        for position, backend in enumerate(plan.ladder):
-            started = monotonic()
-            try:
-                if backend == "hunipu":
-                    result, retries = self._engine_attempts(request, plan, lease)
-                elif backend == "fastha":
-                    result = self._fastha_solve(request.instance)
-                else:
-                    result = self._scipy.solve(request.instance)
-            except ReproError as exc:
-                logger.warning(
-                    "backend %s failed for request %d (%s); descending ladder",
-                    backend,
-                    request.request_id,
-                    exc,
+        with correlation_scope(request.correlation_id), self._execute_scope(ticket):
+            for position, backend in enumerate(plan.ladder):
+                started = monotonic()
+                try:
+                    with child_span(f"backend.{backend}", position=position):
+                        if backend == "hunipu":
+                            result, retries = self._engine_attempts(
+                                request, plan, lease
+                            )
+                        elif backend == "fastha":
+                            result = self._fastha_solve(request.instance)
+                        else:
+                            result = self._scipy.solve(request.instance)
+                except ReproError as exc:
+                    logger.warning(
+                        "backend %s failed for request %d (%s); descending ladder",
+                        backend,
+                        request.request_id,
+                        exc,
+                    )
+                    descended_on_error = True
+                    continue
+                service_s = monotonic() - started
+                self.router.estimator.observe(backend, request.size, service_s)
+                fallback_reason = None
+                if plan.preempted:
+                    fallback_reason = "deadline"
+                elif descended_on_error or position > 0:
+                    fallback_reason = "engine_error"
+                self._complete(
+                    ticket,
+                    result,
+                    backend=backend,
+                    plan=plan,
+                    retries=retries,
+                    batched=1,
+                    service_s=service_s,
+                    fallback_reason=fallback_reason,
                 )
-                descended_on_error = True
-                continue
-            service_s = monotonic() - started
-            self.router.estimator.observe(backend, request.size, service_s)
-            fallback_reason = None
-            if plan.preempted:
-                fallback_reason = "deadline"
-            elif descended_on_error or position > 0:
-                fallback_reason = "engine_error"
-            self._complete(
-                ticket,
-                result,
-                backend=backend,
-                plan=plan,
-                retries=retries,
-                batched=1,
-                service_s=service_s,
-                fallback_reason=fallback_reason,
-            )
-            return
+                return
         # Every ladder leg failed — the scipy backstop raising is not an
         # expected state, but the request must still terminate.
         self._reject_ticket(
@@ -549,16 +677,27 @@ class SolverService:
         request = ticket.request
         if fallback_reason is None and plan.preempted:
             fallback_reason = "deadline"
-        if self.verify and not self._verified(request.instance, result):
-            self.metrics.counter(
-                "serve.verify_failures", "results that failed scipy verification"
-            ).inc()
-            self._reject_ticket(
-                ticket,
-                "internal_error",
-                f"result from {backend} failed scipy verification",
-            )
-            return
+        if self.verify:
+            verify_span = None
+            if self.spans.enabled and ticket.spans.execute is not None:
+                verify_span = self.spans.start(
+                    "verify",
+                    correlation_id=request.correlation_id,
+                    parent=ticket.spans.execute,
+                )
+            verified = self._verified(request.instance, result)
+            if verify_span is not None:
+                self.spans.end(verify_span, "ok" if verified else "error")
+            if not verified:
+                self.metrics.counter(
+                    "serve.verify_failures", "results that failed scipy verification"
+                ).inc()
+                self._reject_ticket(
+                    ticket,
+                    "internal_error",
+                    f"result from {backend} failed scipy verification",
+                )
+                return
         now = monotonic()
         latency = now - request.submitted_at
         degraded = fallback_reason is not None
@@ -576,6 +715,7 @@ class SolverService:
             service_s=service_s,
             latency_s=latency,
             deadline_missed=deadline_missed,
+            correlation_id=request.correlation_id,
         )
         if not ticket._resolve(response):
             return  # already terminally resolved (e.g. raced cancellation)
@@ -583,6 +723,7 @@ class SolverService:
             self._in_flight -= 1
             self._completed += 1
             self._backends[backend] = self._backends.get(backend, 0) + 1
+            self._tiers[request.tier] = self._tiers.get(request.tier, 0) + 1
             if degraded:
                 self._degraded += 1
                 self._fallbacks[fallback_reason] = (
@@ -599,8 +740,22 @@ class SolverService:
         self.metrics.histogram(
             "serve.latency_seconds",
             "end-to-end request latency",
-            buckets=tuple(0.001 * 4**i for i in range(0, 10)),
+            buckets=LATENCY_SECONDS_BUCKETS,
         ).observe(latency)
+        if self.spans.enabled:
+            spans = ticket.spans
+            if spans.queue is not None:
+                self.spans.end(spans.queue)  # normally closed at dequeue
+            if spans.execute is not None:
+                spans.execute.set(
+                    backend=backend, batched=batched, retries=retries
+                )
+                self.spans.end(spans.execute)
+            if spans.root is not None:
+                spans.root.set(
+                    backend=backend, degraded=degraded, latency_s=latency
+                )
+                self.spans.end(spans.root, "ok")
 
     @staticmethod
     def _verified(instance: LAPInstance, result: AssignmentResult) -> bool:
@@ -654,6 +809,7 @@ class SolverService:
                 "in_flight": self._in_flight,
                 "rejected": dict(sorted(self._rejected.items())),
                 "backends": dict(sorted(self._backends.items())),
+                "tiers": dict(sorted(self._tiers.items())),
                 "fallbacks": dict(self._fallbacks),
                 "batches": self._batches,
                 "coalesced": self._coalesced,
@@ -688,6 +844,7 @@ class SolverService:
                 "peak_depth": snapshot["peak_queue_depth"],
             },
             "backends": snapshot["backends"],
+            "tiers": snapshot["tiers"],
             "fallbacks": snapshot["fallbacks"],
             "batching": {
                 "batches": snapshot["batches"],
@@ -697,3 +854,11 @@ class SolverService:
             "estimator": self.router.estimator.snapshot(),
         }
         return document
+
+    def prometheus_text(self) -> str:
+        """Prometheus text-format exposition of the service's registry.
+
+        Covers every ``serve.*`` / ``pool.*`` instrument the service and
+        its pool emit (scrape-ready; see ``docs/serving.md``).
+        """
+        return metrics_to_prometheus_text(self.metrics)

@@ -8,21 +8,29 @@ from typing import Sequence
 __all__ = ["latency_summary", "percentile"]
 
 
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """The q-th percentile (0-100) by linear interpolation; input sorted."""
-    if not sorted_values:
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) of ``values`` by linear interpolation.
+
+    Matches ``numpy.percentile(values, q)`` (the default ``linear``
+    interpolation) without the numpy dependency in the hot stats path.
+    ``values`` may arrive in any order: sortedness is checked in one O(n)
+    pass and the input is sorted defensively when it is not — the historic
+    signature took pre-sorted input and silently returned wrong answers
+    otherwise.
+    """
+    if not values:
         return 0.0
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    position = (len(sorted_values) - 1) * (q / 100.0)
+    if any(values[i] > values[i + 1] for i in range(len(values) - 1)):
+        values = sorted(values)
+    position = (len(values) - 1) * (q / 100.0)
     lower = math.floor(position)
     upper = math.ceil(position)
     if lower == upper:
-        return float(sorted_values[lower])
+        return float(values[lower])
     weight = position - lower
-    return float(
-        sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
-    )
+    return float(values[lower] * (1 - weight) + values[upper] * weight)
 
 
 def latency_summary(latencies: Sequence[float]) -> dict:

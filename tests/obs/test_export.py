@@ -14,13 +14,17 @@ from repro.ipu.spec import IPUSpec
 from repro.obs import (
     MetricsRegistry,
     SchemaError,
+    SpanCollector,
     Tracer,
     metrics_to_dict,
+    perfetto_from_documents,
     profile_report_from_dict,
     profile_report_to_dict,
+    spans_to_dict,
     to_jsonable,
     trace_to_dict,
     validate_document,
+    validate_perfetto,
     write_json,
 )
 
@@ -151,3 +155,167 @@ class TestEndToEndDocuments:
         document = trace_to_dict(tracer, result.stats["profile"])
         path = write_json(tmp_path / "trace.json", document)
         validate_document(json.loads(path.read_text()))
+
+
+def _spans_fixture() -> SpanCollector:
+    spans = SpanCollector()
+    with spans.span("request", correlation_id="req-000001", root=True):
+        with spans.span("queue"):
+            pass
+        with spans.span("execute"):
+            with spans.span("engine.run", mode="compressed"):
+                pass
+    return spans
+
+
+class TestSpansExport:
+    def test_document_validates(self):
+        document = spans_to_dict(_spans_fixture(), meta={"seed": 1})
+        assert validate_document(document) == "repro.spans/1"
+        assert document["meta"]["seed"] == 1
+        assert document["meta"]["unfinished"] == 0
+        assert len(document["spans"]) == 4
+        json.dumps(to_jsonable(document))
+
+    def test_unfinished_spans_are_omitted_but_counted(self):
+        spans = SpanCollector()
+        spans.start("request", correlation_id="req-1")  # never ended
+        done = spans.start("other", correlation_id="req-2")
+        spans.end(done)
+        document = spans_to_dict(spans)
+        assert [s["correlation_id"] for s in document["spans"]] == ["req-2"]
+        assert document["meta"]["unfinished"] == 1
+
+    def test_bad_status_rejected(self):
+        document = spans_to_dict(_spans_fixture())
+        document["spans"][0]["status"] = "meh"
+        with pytest.raises(SchemaError, match="unknown status"):
+            validate_document(document)
+
+    def test_missing_parent_rejected(self):
+        document = spans_to_dict(_spans_fixture())
+        document["spans"][-1]["parent_id"] = 9999
+        with pytest.raises(SchemaError, match="not in document"):
+            validate_document(document)
+
+    def test_cross_correlation_parent_rejected(self):
+        document = spans_to_dict(_spans_fixture())
+        document["spans"][0]["correlation_id"] = "req-other"
+        with pytest.raises(SchemaError, match="correlation id"):
+            validate_document(document)
+
+    def test_end_before_start_rejected(self):
+        document = spans_to_dict(_spans_fixture())
+        document["spans"][0]["end_s"] = document["spans"][0]["start_s"] - 1.0
+        with pytest.raises(SchemaError, match="before it starts"):
+            validate_document(document)
+
+    def test_duplicate_span_id_rejected(self):
+        document = spans_to_dict(_spans_fixture())
+        document["spans"][1]["span_id"] = document["spans"][0]["span_id"]
+        with pytest.raises(SchemaError, match="duplicate span id"):
+            validate_document(document)
+
+
+class TestPerfettoExport:
+    def _trace_document(self, report):
+        tracer = Tracer()
+        tracer.superstep("step1/a", total_seconds=0.1, compute_seconds=0.05)
+        tracer.superstep("step6/b", total_seconds=0.2, compute_seconds=0.1)
+        return trace_to_dict(tracer, report)
+
+    def test_requires_at_least_one_document(self):
+        with pytest.raises(SchemaError, match="spans and/or trace"):
+            perfetto_from_documents()
+
+    def test_spans_only(self):
+        perfetto = perfetto_from_documents(
+            spans_document=spans_to_dict(_spans_fixture())
+        )
+        validate_perfetto(perfetto)
+        slices = [e for e in perfetto["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 4
+        assert {e["pid"] for e in slices} == {1}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in slices)
+        request = next(e for e in slices if e["name"] == "request")
+        assert request["args"]["correlation_id"] == "req-000001"
+        lanes = [
+            e
+            for e in perfetto["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert lanes[0]["args"]["name"] == "req-000001"
+
+    def test_trace_only(self, report):
+        perfetto = perfetto_from_documents(
+            trace_document=self._trace_document(report)
+        )
+        validate_perfetto(perfetto)
+        slices = [e for e in perfetto["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in slices] == ["step1/a", "step6/b"]
+        # Supersteps carry modeled charges: back-to-back slices.
+        assert slices[0]["ts"] == 0.0
+        assert slices[1]["ts"] == pytest.approx(slices[0]["dur"])
+
+    def test_merged_engine_lane_is_offset_to_engine_run(self, report):
+        spans_document = spans_to_dict(_spans_fixture())
+        engine_span = next(
+            s for s in spans_document["spans"] if s["name"] == "engine.run"
+        )
+        base = min(s["start_s"] for s in spans_document["spans"])
+        perfetto = perfetto_from_documents(
+            spans_document=spans_document,
+            trace_document=self._trace_document(report),
+        )
+        validate_perfetto(perfetto)
+        superstep = next(
+            e
+            for e in perfetto["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 2
+        )
+        assert superstep["ts"] == pytest.approx(
+            (engine_span["start_s"] - base) * 1e6
+        )
+
+    def test_validate_perfetto_failures(self):
+        with pytest.raises(SchemaError, match="traceEvents"):
+            validate_perfetto({"events": []})
+        with pytest.raises(SchemaError, match="expected a list"):
+            validate_perfetto({"traceEvents": {}})
+        with pytest.raises(SchemaError, match="negative duration"):
+            validate_perfetto(
+                {
+                    "traceEvents": [
+                        {
+                            "name": "x",
+                            "ph": "X",
+                            "ts": 0.0,
+                            "dur": -1.0,
+                            "pid": 1,
+                            "tid": 1,
+                        }
+                    ]
+                }
+            )
+
+
+class TestGoldenTraceSchema:
+    def _document(self):
+        return {
+            "schema": "repro.golden-trace/1",
+            "instance": {"size": 16, "seed": 7},
+            "total_cost": 12.5,
+            "supersteps": 42,
+            "augmentations": 16,
+            "loops": {"phase1": 3},
+            "branches": {"taken": 5},
+        }
+
+    def test_valid_document(self):
+        assert validate_document(self._document()) == "repro.golden-trace/1"
+
+    def test_nonpositive_supersteps_rejected(self):
+        document = self._document()
+        document["supersteps"] = 0
+        with pytest.raises(SchemaError, match="positive"):
+            validate_document(document)

@@ -5,7 +5,13 @@ import logging
 
 import pytest
 
-from repro.obs.logging_setup import resolve_level, setup_logging
+from repro.obs.logging_setup import (
+    _FORMAT,
+    CorrelationFilter,
+    resolve_level,
+    setup_logging,
+)
+from repro.obs.spans import SpanCollector, correlation_scope
 
 
 class TestResolveLevel:
@@ -43,3 +49,75 @@ class TestSetupLogging:
             logging.DEBUG
         )
         setup_logging("warning")
+
+
+def _record(message: str = "hello") -> logging.LogRecord:
+    return logging.LogRecord(
+        name="repro.serve.service",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+
+
+class TestCorrelationFilter:
+    def test_default_is_dash(self):
+        record = _record()
+        assert CorrelationFilter().filter(record) is True
+        assert record.correlation_id == "-"
+
+    def test_correlation_scope_is_stamped(self):
+        record = _record()
+        with correlation_scope("req-000042"):
+            CorrelationFilter().filter(record)
+        assert record.correlation_id == "req-000042"
+
+    def test_active_span_is_stamped(self):
+        spans = SpanCollector()
+        record = _record()
+        with spans.span("request", correlation_id="req-000007"):
+            CorrelationFilter().filter(record)
+        assert record.correlation_id == "req-000007"
+
+    def test_existing_stamp_is_preserved(self):
+        record = _record()
+        record.correlation_id = "req-custom"
+        with correlation_scope("req-other"):
+            CorrelationFilter().filter(record)
+        assert record.correlation_id == "req-custom"
+
+    def test_formatted_line_is_greppable(self):
+        record = _record("engine fallback engaged")
+        with correlation_scope("req-000042"):
+            CorrelationFilter().filter(record)
+        line = logging.Formatter(_FORMAT).format(record)
+        assert "[req-000042]" in line
+        assert "engine fallback engaged" in line
+
+    def test_serve_log_lines_carry_the_request_id(self):
+        """End-to-end: a rejected request logs with its correlation id."""
+        from repro.data.synthetic import gaussian_instance
+        from repro.serve import SolverService
+
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.addFilter(CorrelationFilter())
+        logger = logging.getLogger("repro.serve")
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.INFO)
+        try:
+            service = SolverService(workers=1)
+            service.close()
+            ticket = service.submit(gaussian_instance(8, 10, seed=0))
+            response = ticket.response(5.0)
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        assert response.status == "rejected"
+        output = stream.getvalue()
+        assert f"[{response.correlation_id}]" in output

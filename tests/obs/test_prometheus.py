@@ -1,0 +1,183 @@
+"""Prometheus text-format exposition tests (repro.obs.metrics).
+
+``_parse_exposition`` is a strict, regex-based text-format parser written
+against the Prometheus exposition-format spec — sample-line syntax, HELP/
+TYPE comments, histogram series shape — standing in for the real scraper
+(no prometheus_client dependency in this environment).
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_SECONDS_BUCKETS,
+    MetricsRegistry,
+    metrics_to_prometheus_text,
+    prometheus_name,
+    snapshot_to_prometheus_text,
+)
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[0-9.eE+-]+|NaN|\+Inf|-Inf)$"
+)
+_HELP_RE = re.compile(rf"^# HELP (?P<name>{_METRIC_NAME}) (?P<text>.*)$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE (?P<name>{_METRIC_NAME}) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_exposition(text: str) -> tuple[dict, dict]:
+    """Parse text-format exposition; returns (samples, types).
+
+    ``samples`` maps sample name → list of ({labels}, value); every line
+    must match the spec's grammar, or the parse fails the test.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            assert _HELP_RE.match(line), f"bad HELP line: {line!r}"
+            continue
+        if line.startswith("# TYPE "):
+            match = _TYPE_RE.match(line)
+            assert match, f"bad TYPE line: {line!r}"
+            assert match["name"] not in types, f"duplicate TYPE for {match['name']}"
+            types[match["name"]] = match["type"]
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"bad sample line: {line!r}"
+        labels = {}
+        if match["labels"]:
+            for pair in match["labels"].split(","):
+                label = _LABEL_RE.match(pair)
+                assert label, f"bad label pair {pair!r} in {line!r}"
+                labels[label["key"]] = label["value"]
+        samples.setdefault(match["name"], []).append(
+            (labels, _parse_value(match["value"]))
+        )
+    return samples, types
+
+
+def _series_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.completed", "requests completed").inc(7)
+    registry.gauge("serve.queue_depth", "admission queue depth").set(3)
+    latency = registry.histogram(
+        "serve.latency_seconds",
+        "end-to-end request latency",
+        buckets=LATENCY_SECONDS_BUCKETS,
+    )
+    for value in (0.0004, 0.003, 0.003, 0.04, 0.2, 1.7, 45.0):
+        latency.observe(value)
+    return registry
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("serve.latency_seconds") == "serve_latency_seconds"
+
+    def test_illegal_chars_and_leading_digit(self):
+        assert prometheus_name("a-b c") == "a_b_c"
+        assert prometheus_name("2fast") == "_2fast"
+        assert _SAMPLE_RE.match(prometheus_name("2fast") + " 1")
+
+
+class TestExposition:
+    def test_parses_under_the_format_parser(self):
+        samples, types = _parse_exposition(
+            metrics_to_prometheus_text(_series_registry())
+        )
+        assert types["serve_completed"] == "counter"
+        assert types["serve_queue_depth"] == "gauge"
+        assert types["serve_latency_seconds"] == "histogram"
+        assert samples["serve_completed"] == [({}, 7.0)]
+        assert samples["serve_queue_depth"] == [({}, 3.0)]
+
+    def test_histogram_series_shape(self):
+        samples, _ = _parse_exposition(
+            metrics_to_prometheus_text(_series_registry())
+        )
+        buckets = samples["serve_latency_seconds_bucket"]
+        # One series per bound plus the terminal +Inf bucket.
+        assert len(buckets) == len(LATENCY_SECONDS_BUCKETS) + 1
+        bounds = [_parse_value(labels["le"]) for labels, _ in buckets]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] == math.inf
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        # +Inf bucket == _count, and _sum matches the observations.
+        (_, count_value), = samples["serve_latency_seconds_count"]
+        assert counts[-1] == count_value == 7
+        (_, sum_value), = samples["serve_latency_seconds_sum"]
+        assert sum_value == pytest.approx(0.0004 + 0.003 + 0.003 + 0.04 + 0.2 + 1.7 + 45.0)
+
+    def test_latency_buckets_resolve_sub_second(self):
+        """Satellite 1: sub-second latencies spread across buckets instead
+        of all landing below the old powers-of-4 first bound of 1.0."""
+        samples, _ = _parse_exposition(
+            metrics_to_prometheus_text(_series_registry())
+        )
+        buckets = {
+            labels["le"]: value
+            for labels, value in samples["serve_latency_seconds_bucket"]
+        }
+        assert buckets["0.0005"] == 1
+        assert buckets["0.005"] == 3
+        assert buckets["0.05"] == 4
+        assert buckets["0.25"] == 5
+        assert buckets["2.5"] == 6
+        assert buckets["30"] == 6  # 45s rides the +Inf bucket
+        assert buckets["+Inf"] == 7
+
+    def test_empty_histogram_and_registry(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "empty", buckets=(1.0, 2.0))
+        samples, _ = _parse_exposition(metrics_to_prometheus_text(registry))
+        assert all(value == 0 for _, value in samples["h_bucket"])
+        assert samples["h_count"] == [({}, 0.0)]
+        assert snapshot_to_prometheus_text({}) == "\n"
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "line one\nline two \\ backslash").inc()
+        text = metrics_to_prometheus_text(registry)
+        assert "# HELP c line one\\nline two \\\\ backslash" in text
+        _parse_exposition(text)
+
+    def test_service_prometheus_text_smoke(self):
+        """The serve-layer surface: SolverService.prometheus_text parses."""
+        from repro.serve import SolverService
+
+        service = SolverService(workers=1, metrics=MetricsRegistry())
+        try:
+            from repro.data.synthetic import gaussian_instance
+
+            response = service.solve(gaussian_instance(8, 10, seed=1), tier="fast")
+            assert response.ok
+        finally:
+            service.close()
+        samples, types = _parse_exposition(service.prometheus_text())
+        assert types["serve_completed"] == "counter"
+        assert samples["serve_completed"] == [({}, 1.0)]
+        assert "serve_latency_seconds_bucket" in samples

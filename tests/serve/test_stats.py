@@ -1,0 +1,105 @@
+"""Property tests for the serve-layer percentile/latency summaries.
+
+Satellite of the observability PR: ``percentile`` historically required
+pre-sorted input and silently returned wrong answers otherwise; these tests
+pin the defensive-sort behaviour and the linear-interpolation semantics
+against ``numpy.percentile`` (the ``linear`` method) over arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.stats import latency_summary, percentile
+
+# Finite, order-comparable floats; latencies are non-negative but the
+# function itself is general.
+_values = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=64,
+)
+_quantiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def _numpy_linear(values, q):
+    # numpy renamed interpolation= to method= in 1.22; support either.
+    try:
+        return float(np.percentile(values, q, method="linear"))
+    except TypeError:  # pragma: no cover - old numpy
+        return float(np.percentile(values, q, interpolation="linear"))
+
+
+class TestPercentileProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(values=_values, q=_quantiles)
+    def test_matches_numpy_on_any_order(self, values, q):
+        expected = _numpy_linear(values, q)
+        assert percentile(values, q) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=_values, q=_quantiles)
+    def test_order_invariant(self, values, q):
+        forward = percentile(values, q)
+        assert percentile(list(reversed(values)), q) == forward
+        assert percentile(sorted(values), q) == forward
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=_values, q=_quantiles)
+    def test_bounded_by_extremes(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=_values)
+    def test_endpoints(self, values):
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+
+class TestPercentileEdges:
+    def test_unsorted_regression(self):
+        # The historical bug: unsorted input returned the positional value.
+        assert percentile([10.0, 0.0], 100) == 10.0
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], -1)
+
+    def test_interpolates_between_points(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        summary = latency_summary([0.3, 0.1, 0.2])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.2)
+        assert summary["p50"] == pytest.approx(0.2)
+        assert summary["max"] == 0.3
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=32,
+        )
+    )
+    def test_summary_matches_numpy(self, values):
+        summary = latency_summary(values)
+        for q, key in ((50, "p50"), (95, "p95"), (99, "p99")):
+            assert summary[key] == pytest.approx(
+                _numpy_linear(values, q), rel=1e-9, abs=1e-9
+            )

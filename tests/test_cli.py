@@ -184,3 +184,145 @@ class TestServeCommand:
     def test_run_serve_experiment_enumerated(self):
         args = build_parser().parse_args(["run", "serve", "--scale", "quick"])
         assert args.experiment == "serve"
+
+    def test_serve_span_and_prom_exports(self, capsys, tmp_path):
+        spans_path = tmp_path / "spans.json"
+        prom_path = tmp_path / "metrics.prom"
+        stats_path = tmp_path / "stats.json"
+        assert main([
+            "serve", "--requests", "8", "--workers", "2",
+            "--shapes", "6", "--seed", "0",
+            "--stats", str(stats_path), "--stats-interval", "0.05",
+            "--spans", str(spans_path), "--prom", str(prom_path),
+        ]) == 0
+        from repro.obs.export import validate_document
+
+        spans_document = json.loads(spans_path.read_text())
+        assert validate_document(spans_document) == "repro.spans/1"
+        roots = [s for s in spans_document["spans"] if s["parent_id"] is None]
+        assert roots and all(
+            r["correlation_id"].startswith("req-") for r in roots
+        )
+        text = prom_path.read_text()
+        assert text.endswith("\n")
+        assert "# TYPE serve_completed counter" in text
+        # The background writer refreshed the stats file during the run.
+        validate_document(json.loads(stats_path.read_text()))
+
+    def test_serve_stats_interval_requires_stats(self, capsys):
+        assert main(["serve", "--requests", "4",
+                     "--stats-interval", "0.1"]) == 2
+        assert "--stats" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_live_trace_exports_validate(self, capsys, tmp_path):
+        perfetto_path = tmp_path / "timeline.json"
+        spans_path = tmp_path / "spans.json"
+        assert main([
+            "trace", "--size", "12", "--seed", "3",
+            "--perfetto", str(perfetto_path), "--spans", str(spans_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
+        from repro.obs.export import validate_document, validate_perfetto
+
+        perfetto = json.loads(perfetto_path.read_text())
+        validate_perfetto(perfetto)
+        assert perfetto["traceEvents"]
+        # Both request spans (pid 1) and superstep slices (pid 2) are there.
+        pids = {
+            e["pid"] for e in perfetto["traceEvents"] if e.get("ph") == "X"
+        }
+        assert pids == {1, 2}
+        spans_document = json.loads(spans_path.read_text())
+        assert validate_document(spans_document) == "repro.spans/1"
+
+    def test_convert_existing_trace(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        perfetto_path = tmp_path / "perfetto.json"
+        assert main(["solve", "--size", "12",
+                     "--trace", str(trace_path)]) == 0
+        assert main(["trace", "--convert", str(trace_path),
+                     "--perfetto", str(perfetto_path)]) == 0
+        document = json.loads(perfetto_path.read_text())
+        assert document["traceEvents"]
+
+    def test_usage_errors(self, capsys):
+        assert main(["trace", "--size", "8"]) == 2  # no output requested
+        assert main(["trace", "--convert", "x.json",
+                     "--spans", "s.json"]) == 2  # spans need a live solve
+
+
+class TestStatsCommand:
+    def test_prometheus_output(self, capsys):
+        assert main(["stats", "--size", "8", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert "solver_solves" in out
+
+    def test_json_output(self, capsys):
+        assert main(["stats", "--size", "8", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.metrics/1"
+
+    def test_input_document(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["stats", "--size", "8", "--format", "json"]) == 0
+        path.write_text(capsys.readouterr().out)
+        assert main(["stats", "--input", str(path),
+                     "--format", "prom"]) == 0
+        assert "solver_solves" in capsys.readouterr().out
+
+    def test_input_rejects_wrong_schema(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.serve/1"}))
+        assert main(["stats", "--input", str(path)]) == 2
+        assert "repro.metrics/1" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_once_renders_frame(self, capsys, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        assert main([
+            "serve", "--requests", "6", "--workers", "2",
+            "--shapes", "6", "--seed", "0", "--stats", str(stats_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", str(stats_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "requests" in out
+
+    def test_missing_file_fails(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "nope.json"),
+                     "--once"]) == 1
+
+
+class TestValidateCommand:
+    def test_validate_ok_and_failure_exit_codes(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        assert main(["solve", "--size", "8", "--trace", str(good)]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.trace/999"}))
+        assert main(["validate", str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "OK" in captured.out
+        assert "FAIL" in captured.err
+        assert "unknown schema" in captured.err
+
+    def test_validate_trace_event_document(self, capsys, tmp_path):
+        path = tmp_path / "perfetto.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1},
+        ]}))
+        assert main(["validate", str(path)]) == 0
+        assert "trace-event" in capsys.readouterr().out
+
+    def test_validate_unreadable_file(self, capsys, tmp_path):
+        missing = tmp_path / "missing.json"
+        assert main(["validate", str(missing)]) == 1
+        assert "FAIL" in capsys.readouterr().err

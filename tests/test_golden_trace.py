@@ -22,11 +22,14 @@ def current_fingerprint() -> dict:
     from repro.data.synthetic import gaussian_instance
     from repro.obs.trace import Tracer
 
+    from repro.obs.export import GOLDEN_SCHEMA
+
     instance = gaussian_instance(16, 10, seed=42)
     tracer = Tracer()
     solver = HunIPUSolver(tracer=tracer)
     result = solver.solve(instance)
     return {
+        "schema": GOLDEN_SCHEMA,
         "instance": {"kind": "gaussian", "size": 16, "k": 10, "seed": 42},
         "total_cost": result.total_cost,
         "supersteps": result.stats["supersteps"],
@@ -43,6 +46,15 @@ def test_solver_trace_matches_golden():
     # Round-trip through JSON so float representation matches the file's.
     current = json.loads(json.dumps(current_fingerprint()))
     assert current == golden
+
+
+def test_golden_passes_schema_validation():
+    """The fixture is schema-stamped so CI's schema lint covers it."""
+    from repro.obs.export import GOLDEN_SCHEMA, validate_document
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["schema"] == GOLDEN_SCHEMA
+    validate_document(golden)
 
 
 def test_golden_covers_the_interesting_structure():
