@@ -20,6 +20,7 @@ from repro.bench.harness import ExperimentResult, format_grid
 from repro.bench.recording import BenchScale, RunRecord
 from repro.core.solver import HunIPUSolver
 from repro.data.synthetic import uniform_instance
+from repro.obs.perf import alternating_minimum
 from repro.obs.timing import wall_timer
 
 __all__ = ["run_batch_bench"]
@@ -58,16 +59,26 @@ def run_batch_bench(scale: BenchScale | None = None, *, seed: int = 0) -> Experi
     batch_path = BatchSolver(HunIPUSolver())
     batch_path.solver.compiled_for(size)
 
-    sequential_rounds: list[float] = []
-    batch_rounds: list[float] = []
-    for _ in range(rounds):
+    outcome: dict[str, object] = {}
+
+    def _sequential_round() -> float:
         with wall_timer() as sequential_timer:
-            sequential_results = sequential_solver.solve_many(instances)
-        sequential_rounds.append(sequential_timer.seconds)
-        batch = batch_path.solve_batch(instances)
-        batch_rounds.append(batch.wall_seconds)
-    sequential_wall = min(sequential_rounds)
-    batch_wall = min(batch_rounds)
+            outcome["sequential"] = sequential_solver.solve_many(instances)
+        return sequential_timer.seconds
+
+    def _batch_round() -> float:
+        outcome["batch"] = batch_path.solve_batch(instances)
+        return outcome["batch"].wall_seconds
+
+    timings = alternating_minimum(
+        {"sequential": _sequential_round, "batch": _batch_round}, rounds
+    )
+    sequential_results = outcome["sequential"]
+    batch = outcome["batch"]
+    sequential_rounds = list(timings["sequential"].rounds)
+    batch_rounds = list(timings["batch"].rounds)
+    sequential_wall = timings["sequential"].best
+    batch_wall = timings["batch"].best
 
     identical = all(
         np.array_equal(seq.assignment, bat.assignment)

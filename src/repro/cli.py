@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the common workflows without writing any code:
+Eleven commands cover the common workflows without writing any code:
 
 * ``info`` — the simulated device specs and library version;
 * ``solve`` — solve one synthetic instance with any solver and print the
@@ -9,7 +9,18 @@ Ten commands cover the common workflows without writing any code:
   whole stream of instances (``.npy`` / ``.npz`` / ``.json``) through
   :class:`repro.batch.BatchSolver` and prints per-group statistics;
 * ``profile`` — solve one instance on HunIPU with full instrumentation and
-  print the per-step BSP table plus imbalance/convergence diagnostics;
+  print the per-step BSP table, the modeled critical-path breakdown, and
+  imbalance/convergence diagnostics; ``--tiles`` runs the deep (per-tile)
+  profiler and prints straggler/occupancy attribution, ``--heatmap
+  OUT.json`` writes the ``repro.tile-profile/1`` document with the dense
+  per-tile cycle grid, and ``--json`` embeds the tile document alongside
+  the trace and metrics;
+* ``perf`` — the continuous perf-regression harness over the
+  ``repro.perf/1`` trend store (``benchmarks/results/PERF_trends.json``):
+  ``record`` appends fresh suite measurements (or ``--ingest``\\ s
+  ``BENCH_*.json`` run records), ``compare`` re-measures and diffs against
+  each benchmark's latest baseline with noise-aware budgets (exits
+  non-zero on regression — the CI perf gate), ``report`` prints trends;
 * ``trace`` — run one span-traced HunIPU solve and export the merged
   request-span + BSP-superstep timeline as Chrome trace-event / Perfetto
   JSON (``--perfetto out.json``); ``--convert TRACE.json`` converts an
@@ -135,7 +146,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="also write trace + profile + metrics as JSON",
     )
+    profile.add_argument(
+        "--tiles",
+        action="store_true",
+        help="deep profile: per-tile cycle attribution, stragglers, and "
+        "occupancy (embedded in --json output when both are given)",
+    )
+    profile.add_argument(
+        "--heatmap",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT.json",
+        help="write a repro.tile-profile/1 document with the dense per-tile "
+        "cycle heatmap grid (implies --tiles)",
+    )
     _add_logging_args(profile)
+
+    perf = sub.add_parser(
+        "perf",
+        help="record and gate benchmark trends (repro.perf/1 store)",
+    )
+    perf.add_argument(
+        "perf_action",
+        choices=("record", "compare", "report"),
+        metavar="ACTION",
+        help="record: append fresh suite measurements to the store; "
+        "compare: re-measure and diff against the latest baselines "
+        "(exits non-zero on regression); report: print stored trends",
+    )
+    perf.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks/results/PERF_trends.json"),
+        metavar="FILE",
+        help="trend store path (default: %(default)s)",
+    )
+    perf.add_argument(
+        "--scale",
+        choices=("quick", "default"),
+        default="quick",
+        help="suite shape for record/compare (default: %(default)s)",
+    )
+    perf.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="alternating timing rounds per benchmark (default: %(default)s)",
+    )
+    perf.add_argument(
+        "--ingest",
+        type=pathlib.Path,
+        action="append",
+        default=None,
+        metavar="BENCH.json",
+        help="(record) also ingest run records from a repro.bench/1 "
+        "document; repeatable",
+    )
+    perf.add_argument(
+        "--budget-ratio",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="(compare) widen the noise-sensitive wall/throughput budgets "
+        "to this max ratio (model/exact budgets stay tight)",
+    )
+    perf.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="(compare) multiply fresh wall metrics by FACTOR — a "
+        "self-test hook; the gate must fail for FACTOR >= 2",
+    )
+    perf.add_argument(
+        "--benchmark",
+        default=None,
+        metavar="NAME",
+        help="(report) restrict the trend report to one benchmark",
+    )
+    _add_logging_args(perf)
 
     trace = sub.add_parser(
         "trace",
@@ -537,11 +626,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         trace_to_dict,
         write_json,
     )
+    from repro.obs.export import tile_profile_to_dict, validate_document
 
+    profile_tiles = args.tiles or args.heatmap is not None
     instance = _generate_instance(args)
     tracer = Tracer()
     metrics = MetricsRegistry()
-    solver = HunIPUSolver(tracer=tracer, metrics=metrics)
+    solver = HunIPUSolver(
+        tracer=tracer, metrics=metrics, profile_tiles=profile_tiles
+    )
     result = solver.solve(instance)
     report = result.stats["profile"]
     summary = tracer.summary()
@@ -551,6 +644,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(report.format_table())
     print()
+    print(report.format_critical_path())
+    print()
+    if profile_tiles and report.tiles is not None:
+        print(report.tiles.format_table())
+        print()
     imbalance = summary["tile_imbalance"]
     loops = summary["loops"]
     print("diagnostics")
@@ -576,22 +674,90 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             f"  step-4 search loop  : {inner_loop['entries']} entries, "
             f"mean {inner_loop['mean_iterations']:.1f} iterations"
         )
-    if args.json is not None:
-        document = trace_to_dict(
-            tracer,
-            report,
-            meta={
-                "instance": instance.name,
-                "distribution": args.distribution,
-                "size": args.size,
-                "seed": args.seed,
-                "solver": result.solver,
-            },
+    meta = {
+        "instance": instance.name,
+        "distribution": args.distribution,
+        "size": args.size,
+        "seed": args.seed,
+        "solver": result.solver,
+    }
+    tile_document = None
+    if profile_tiles and report.tiles is not None:
+        tile_document = tile_profile_to_dict(
+            report.tiles, meta=meta, include_heatmap=args.heatmap is not None
         )
+        validate_document(tile_document)
+    if args.heatmap is not None and tile_document is not None:
+        path = write_json(args.heatmap, tile_document)
+        print(f"\ntile heatmap written : {path}")
+    if args.json is not None:
+        document = trace_to_dict(tracer, report, meta=meta)
         document["metrics"] = metrics_to_dict(metrics)["metrics"]
+        if tile_document is not None:
+            document["tiles"] = tile_document
         path = write_json(args.json, document)
         print(f"\nprofile JSON written : {path}")
     return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.perf import (
+        PerfStore,
+        budgets_with_ratio,
+        compare_runs,
+        format_report,
+        format_trend,
+        run_suite,
+        runs_from_bench_document,
+    )
+
+    store = PerfStore(args.store)
+
+    if args.perf_action == "report":
+        if not store.runs:
+            print(f"no runs recorded in {store.path}")
+            return 0
+        print(format_trend(store, args.benchmark))
+        return 0
+
+    if args.perf_action == "record":
+        runs = run_suite(args.scale, args.rounds)
+        for bench_path in args.ingest or ():
+            document = json.loads(bench_path.read_text())
+            runs.extend(runs_from_bench_document(document, rounds=args.rounds))
+        added = store.append(runs)
+        path = store.save()
+        print(f"recorded {added} run(s) to {path}")
+        for run in runs:
+            metrics = run["metrics"]
+            print(
+                f"  {run['benchmark']:<22} wall "
+                f"{metrics['wall_seconds'] * 1e3:.3f} ms"
+                + (
+                    f", device {metrics['device_seconds'] * 1e3:.4f} ms"
+                    if "device_seconds" in metrics
+                    else ""
+                )
+            )
+        return 0
+
+    assert args.perf_action == "compare"
+    budgets = (
+        budgets_with_ratio(args.budget_ratio)
+        if args.budget_ratio is not None
+        else None
+    )
+    fresh = run_suite(args.scale, args.rounds)
+    report = compare_runs(
+        store, fresh, budgets, inject_slowdown=args.inject_slowdown
+    )
+    print(f"comparing against baselines in {store.path}")
+    if args.inject_slowdown != 1.0:
+        print(f"(self-test: fresh wall metrics slowed {args.inject_slowdown}x)")
+    print(format_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1033,6 +1199,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "run":

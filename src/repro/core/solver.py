@@ -187,6 +187,12 @@ class HunIPUSolver:
         Compile-cache and convergence counters always land in the
         library's default registry when none is given; per-superstep
         engine histograms are only fed with an explicit registry.
+    profile_tiles:
+        Deep-profile every solve: the result's ``stats["profile"]`` report
+        carries per-tile attribution on its ``tiles`` field (stragglers,
+        occupancy, imbalance over time, per-tensor exchange bytes).  Off
+        by default — the per-tile bookkeeping costs a few arrays per
+        superstep.
 
     Example
     -------
@@ -210,6 +216,7 @@ class HunIPUSolver:
         use_compression: bool = True,
         tracer: NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        profile_tiles: bool = False,
     ) -> None:
         self.spec = spec if spec is not None else IPUSpec.mk2()
         self.dtype = np.dtype(dtype)
@@ -218,6 +225,7 @@ class HunIPUSolver:
         self.engine_mode: Literal["batched", "per_tile"] = engine_mode
         self.col_segment_size = col_segment_size
         self.use_compression = use_compression
+        self.profile_tiles = profile_tiles
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Explicit registry => per-superstep engine instruments too.
         self._engine_metrics = metrics
@@ -319,6 +327,7 @@ class HunIPUSolver:
             tracer=self.tracer,
             metrics=self._engine_metrics,
             profile_detail=profile_detail,
+            profile_tiles=self.profile_tiles,
         )
 
     def _build_result(

@@ -137,6 +137,9 @@ class ExecutionPlan:
     exchange_bytes: int
     inter_ipu_bytes: int
     worker_slots: np.ndarray  # (num_vertices,) round-robin slot per tile
+    #: Static exchange bytes attributed to each tensor the compute set
+    #: touches (values sum to ``exchange_bytes``).
+    exchange_by_tensor: dict[str, int] = dataclasses.field(default_factory=dict)
     _slot_keys: np.ndarray | None = dataclasses.field(default=None, repr=False)
     _single_slot_per_key: bool = dataclasses.field(default=False, repr=False)
 
@@ -152,6 +155,9 @@ class ExecutionPlan:
             self.vertex_tiles, return_inverse=True
         )
         self._tile_keys = tile_keys
+        #: Sorted unique physical tile ids, aligned with
+        #: :meth:`tile_cycle_totals` output (deep profiler attribution).
+        self.tile_ids = tiles_in_use
         self.tiles_in_use = len(tiles_in_use)
 
     @property
@@ -411,6 +417,12 @@ def _build_plan(compute_set: ComputeSet, spec: IPUSpec) -> ExecutionPlan:
     splits = [vertex.exchange_bytes_split(tiles_per_ipu) for vertex in vertices]
     exchange_bytes = sum(total for total, _ in splits)
     inter_ipu_bytes = sum(inter for _, inter in splits)
+    exchange_by_tensor: dict[str, int] = {}
+    for vertex in vertices:
+        for tensor_name, moved in vertex.exchange_bytes_by_tensor().items():
+            exchange_by_tensor[tensor_name] = (
+                exchange_by_tensor.get(tensor_name, 0) + moved
+            )
     vertex_tiles = np.array([vertex.tile for vertex in vertices], dtype=np.int64)
     worker_slots = _assign_worker_slots(vertex_tiles, spec.threads_per_tile)
 
@@ -418,7 +430,7 @@ def _build_plan(compute_set: ComputeSet, spec: IPUSpec) -> ExecutionPlan:
     if len(codelet_names) != 1:
         return ExecutionPlan(
             compute_set, None, {}, {}, vertex_tiles, exchange_bytes,
-            inter_ipu_bytes, worker_slots,
+            inter_ipu_bytes, worker_slots, exchange_by_tensor,
         )
     codelet = vertices[0].codelet
 
@@ -435,6 +447,7 @@ def _build_plan(compute_set: ComputeSet, spec: IPUSpec) -> ExecutionPlan:
                 exchange_bytes,
                 inter_ipu_bytes,
                 worker_slots,
+                exchange_by_tensor,
             )
         field_plans[field] = plan
 
@@ -456,6 +469,7 @@ def _build_plan(compute_set: ComputeSet, spec: IPUSpec) -> ExecutionPlan:
         exchange_bytes,
         inter_ipu_bytes,
         worker_slots,
+        exchange_by_tensor,
     )
 
 

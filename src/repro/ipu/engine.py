@@ -29,7 +29,7 @@ from repro.errors import ExecutionError
 from repro.ipu.compiler import CompiledGraph, ExecutionPlan, compile_graph
 from repro.ipu.graph import ComputeGraph
 from repro.ipu.profiler import ProfileReport, Profiler
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import IMBALANCE_RATIO_BUCKETS, MetricsRegistry
 from repro.obs.spans import child_span
 from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.ipu.programs import (
@@ -90,6 +90,10 @@ class Engine:
         #: ``profile_detail=False`` runs (aggregate totals only).
         self._owned_profiler = Profiler(self.compiled.spec)
         self._lite_profiler = Profiler(self.compiled.spec, detailed=False)
+        #: Deep (per-tile) profiler, built on first ``profile_tiles=True``
+        #: run — its per-tile arrays cost ~tiles*3 float64s, so runs that
+        #: never go deep never pay for them.
+        self._deep_profiler: Profiler | None = None
         self._profiler: Profiler | None = None
         self._tracer: NullTracer = NULL_TRACER
         self._metrics: MetricsRegistry | None = None
@@ -120,6 +124,7 @@ class Engine:
         tracer: NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
         profile_detail: bool = True,
+        profile_tiles: bool = False,
     ) -> ProfileReport:
         """Execute the program once and return the cost report.
 
@@ -134,10 +139,20 @@ class Engine:
         bookkeeping (the batch path's throughput mode).  Tracing or
         per-superstep metrics force a detailed profiler, since both consume
         the per-superstep charges.
+
+        ``profile_tiles=True`` selects the deep profiler: everything the
+        detailed mode reports plus per-tile attribution on
+        :attr:`ProfileReport.tiles` (straggler counts, occupancy, an
+        imbalance time series, per-tensor exchange bytes).  All three
+        depths produce bit-identical run totals.
         """
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics
-        if profile_detail or self._tracer.enabled or metrics is not None:
+        if profile_tiles:
+            if self._deep_profiler is None:
+                self._deep_profiler = Profiler(self.compiled.spec, tiles=True)
+            self._profiler = self._deep_profiler
+        elif profile_detail or self._tracer.enabled or metrics is not None:
             self._profiler = self._owned_profiler
         else:
             self._profiler = self._lite_profiler
@@ -223,6 +238,13 @@ class Engine:
             compute_cycles=0.0,
             exchange_bytes=total,
             inter_ipu_bytes=inter,
+            # Copy traffic lands in the destination tensor; attribute it
+            # there so per-tensor totals still sum to exchange_bytes.
+            exchange_by_tensor=(
+                {copy.destination.name: total}
+                if total and self._profiler.tiles
+                else None
+            ),
         )
         if self._tracer.enabled:
             self._tracer.superstep(
@@ -287,12 +309,23 @@ class Engine:
         cycles += cost.vertex_overhead_cycles
         compute_cycles = plan.tile_compute_cycles(cycles, self.compiled.spec)
         assert self._profiler is not None
-        charge = self._profiler.record_superstep(
-            plan.compute_set.name,
-            compute_cycles=compute_cycles,
-            exchange_bytes=plan.exchange_bytes,
-            inter_ipu_bytes=plan.inter_ipu_bytes,
-        )
+        if self._profiler.tiles:
+            charge = self._profiler.record_superstep(
+                plan.compute_set.name,
+                compute_cycles=compute_cycles,
+                exchange_bytes=plan.exchange_bytes,
+                inter_ipu_bytes=plan.inter_ipu_bytes,
+                tile_ids=plan.tile_ids,
+                tile_cycles=plan.tile_cycle_totals(cycles),
+                exchange_by_tensor=plan.exchange_by_tensor,
+            )
+        else:
+            charge = self._profiler.record_superstep(
+                plan.compute_set.name,
+                compute_cycles=compute_cycles,
+                exchange_bytes=plan.exchange_bytes,
+                inter_ipu_bytes=plan.inter_ipu_bytes,
+            )
         if self._tracer.enabled:
             peak, mean, imbalance = plan.tile_cycle_stats(cycles)
             self._tracer.superstep(
@@ -332,7 +365,7 @@ class Engine:
             self._metrics.histogram(
                 "engine.tile_imbalance",
                 "max/mean compute cycles over tiles in use, per superstep",
-                buckets=(1.0, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0),
+                buckets=IMBALANCE_RATIO_BUCKETS,
             ).observe(imbalance)
             self._metrics.histogram(
                 "engine.tile_compute_cycles",

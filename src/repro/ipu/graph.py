@@ -116,6 +116,30 @@ class Vertex:
                         inter += moved
         return total, inter
 
+    def exchange_bytes_by_tensor(self) -> dict[str, int]:
+        """Exchange bytes attributed to each connected tensor, by name.
+
+        Same interval-overlap accounting as :meth:`exchange_bytes_split`
+        (an interval counts when it overlaps the connection and lives on a
+        foreign tile); multiple connections to one tensor sum under its
+        name, so the values always total :meth:`exchange_bytes`.
+        """
+        per_tensor: dict[str, int] = {}
+        for connection in self.connections.values():
+            mapping = connection.tensor.require_mapping()
+            itemsize = connection.tensor.dtype.itemsize
+            moved = 0
+            for interval in mapping.intervals:
+                overlap = min(interval.stop, connection.stop) - max(
+                    interval.start, connection.start
+                )
+                if overlap > 0 and interval.tile != self.tile:
+                    moved += overlap * itemsize
+            if moved:
+                name = connection.tensor.name
+                per_tensor[name] = per_tensor.get(name, 0) + moved
+        return per_tensor
+
 
 class ComputeSet:
     """A group of vertices executing in one BSP superstep.

@@ -1,21 +1,63 @@
-"""Execution profiling: per-compute-set BSP phase accounting.
+"""Execution profiling: per-compute-set and per-tile BSP phase accounting.
 
 The engine reports, for every superstep, the three BSP phase costs the paper
 reasons about (§III-A): compute (slowest tile), synchronization (fixed), and
 exchange (bytes over the fabric).  The profiler aggregates them by compute
 set name, which is how HunIPU's per-step costs (Step 1 ... Step 6) surface
 in benchmark output.
+
+Three profiling depths exist, selected when the engine runs:
+
+* **detailed** (default) — per-compute-set :class:`StepRecord` accounting;
+* **lite** (``detailed=False``) — aggregate totals only, for the batch
+  path's throughput mode;
+* **deep** (``tiles=True``) — everything in detailed *plus* per-tile,
+  per-superstep attribution (:class:`TileProfile`): compute cycles per
+  tile, occupancy and straggler counts, an imbalance time series, and
+  per-tensor exchange-byte attribution.
+
+All three depths accumulate the run totals through the *same* statements in
+the same order, so the headline numbers (``supersteps``,
+``compute_cycles``, ``device_seconds``, byte volumes) are bit-identical
+across modes — the invariant the differential tests pin.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import functools
+import math
 import typing
+
+import numpy as np
 
 from repro.ipu.spec import IPUSpec
 
-__all__ = ["StepRecord", "SuperstepCharge", "Profiler", "ProfileReport"]
+__all__ = [
+    "StepRecord",
+    "SuperstepCharge",
+    "Profiler",
+    "ProfileReport",
+    "TileProfile",
+    "TileComputeSetStats",
+    "SuperstepSample",
+    "CRITICAL_PATH_PREFIXES",
+]
+
+#: Step-name prefixes the critical-path breakdown groups by: the paper's
+#: Steps 1–6, the §IV-B compression, and data movement.  (Kept in sync with
+#: ``repro.obs.trace.STEP_PREFIXES``, which cannot be imported here without
+#: creating an import cycle through ``repro.obs``.)
+CRITICAL_PATH_PREFIXES = (
+    "step1",
+    "compress",
+    "step2",
+    "step3",
+    "step4",
+    "step5",
+    "step6",
+    "copy",
+)
 
 
 @dataclasses.dataclass
@@ -29,6 +71,10 @@ class StepRecord:
     exchange_seconds: float = 0.0
     exchange_bytes: int = 0
     inter_ipu_bytes: int = 0
+    #: Raw charged compute cycles (pre-conversion), accumulated in
+    #: execution order — the quantity the deep profiler's per-compute-set
+    #: accounting must match bit-for-bit.
+    compute_cycles: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -47,18 +93,337 @@ class SuperstepCharge(typing.NamedTuple):
         return self.compute_seconds + self.sync_seconds + self.exchange_seconds
 
 
+# ----------------------------------------------------------------------
+# Per-tile attribution (deep mode)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TileComputeSetStats:
+    """Per-tile view of one compute set, accumulated over its executions."""
+
+    name: str
+    executions: int
+    #: Charged (slowest-slot) compute cycles, accumulated per execution in
+    #: run order — bit-identical to the matching ``StepRecord``'s
+    #: ``compute_cycles``.
+    compute_cycles: float
+    #: Total vertex work across all tiles (>= charged cycles * 1 tile).
+    vertex_cycles: float
+    tiles_in_use: int
+    exchange_bytes: int
+    #: Static exchange bytes attributed to each tensor this set touches,
+    #: summed over executions.
+    exchange_by_tensor: dict[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class SuperstepSample:
+    """One compute superstep in the deep profile's time series."""
+
+    name: str
+    compute_seconds: float
+    total_seconds: float
+    max_tile_cycles: float
+    mean_tile_cycles: float
+    imbalance: float
+    straggler_tile: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TileProfile:
+    """Immutable per-tile attribution snapshot of one deep-profiled run.
+
+    ``tile_cycles`` counts each tile's own vertex work (what the tile
+    actually executed); ``compute_cycles`` is the run's *charged* compute
+    total (each superstep costs its slowest tile's busiest slot), which is
+    why ``tile_cycles.sum()`` normally exceeds nothing and the charged
+    total normally exceeds any single tile — the gap between
+    ``compute_cycles`` and ``tile_cycles.max()`` is the price of stragglers.
+    """
+
+    total_tiles: int
+    supersteps: int
+    compute_cycles: float
+    tile_cycles: np.ndarray
+    tile_active_supersteps: np.ndarray
+    tile_straggler_count: np.ndarray
+    compute_sets: tuple[TileComputeSetStats, ...]
+    series: tuple[SuperstepSample, ...]
+    exchange_by_tensor: dict[str, int]
+
+    @property
+    def tiles_used(self) -> int:
+        """Tiles that executed at least one vertex."""
+        return int(np.count_nonzero(self.tile_active_supersteps))
+
+    @property
+    def vertex_cycles(self) -> float:
+        """Total vertex work summed over every tile."""
+        return float(self.tile_cycles.sum())
+
+    def stragglers(self, k: int = 5) -> list[dict[str, float | int]]:
+        """The ``k`` tiles that most often gated a superstep (C3).
+
+        Sorted by straggler count (times the tile held the per-superstep
+        cycle maximum), ties broken by total cycles.
+        """
+        order = np.lexsort((self.tile_cycles, self.tile_straggler_count))
+        rows = []
+        for tile in reversed(order[-k:]):
+            if self.tile_straggler_count[tile] == 0 and not rows:
+                break
+            rows.append(
+                {
+                    "tile": int(tile),
+                    "straggler_supersteps": int(self.tile_straggler_count[tile]),
+                    "active_supersteps": int(self.tile_active_supersteps[tile]),
+                    "cycles": float(self.tile_cycles[tile]),
+                }
+            )
+        return rows
+
+    def occupancy(self) -> dict[str, float]:
+        """How evenly the run kept tiles busy.
+
+        ``mean_active_fraction`` is the mean over *used* tiles of the
+        fraction of compute supersteps each was active in; ``imbalance`` is
+        the max/mean ratio of per-tile cycle totals over used tiles (1.0
+        means perfectly level work).
+        """
+        used = self.tile_active_supersteps > 0
+        if not used.any() or self.supersteps == 0:
+            return {
+                "tiles_used": 0.0,
+                "mean_active_fraction": 0.0,
+                "imbalance": 1.0,
+            }
+        active = self.tile_active_supersteps[used] / self.supersteps
+        cycles = self.tile_cycles[used]
+        mean_cycles = float(cycles.mean())
+        return {
+            "tiles_used": float(used.sum()),
+            "mean_active_fraction": float(active.mean()),
+            "imbalance": float(cycles.max() / mean_cycles) if mean_cycles > 0 else 1.0,
+        }
+
+    def imbalance_over_time(self) -> dict[str, float]:
+        """Aggregate of the per-superstep max/mean tile-cycle ratio.
+
+        Copy supersteps (no per-tile compute, ``straggler_tile == -1``)
+        are excluded so they cannot dilute the statistic.
+        """
+        values = np.array(
+            [s.imbalance for s in self.series if s.straggler_tile >= 0]
+        )
+        if not len(values):
+            return {"mean": 1.0, "max": 1.0, "supersteps": 0.0}
+        return {
+            "mean": float(values.mean()),
+            "max": float(values.max()),
+            "supersteps": float(len(values)),
+        }
+
+    def heatmap(self, width: int | None = None) -> dict[str, object]:
+        """Per-tile cycle totals as a 2-D grid (for heatmap rendering).
+
+        Tiles are laid out row-major in tile-id order, ``width`` columns
+        per row (default: the squarest grid).  Unpopulated trailing cells
+        are zero, like idle tiles.
+        """
+        if width is None:
+            width = max(1, int(math.ceil(math.sqrt(self.total_tiles))))
+        rows = int(math.ceil(self.total_tiles / width))
+        grid = np.zeros(rows * width, dtype=np.float64)
+        grid[: self.total_tiles] = self.tile_cycles
+        return {
+            "width": width,
+            "rows": rows,
+            "total_tiles": self.total_tiles,
+            "cycles": grid.reshape(rows, width).tolist(),
+        }
+
+    def format_table(self, k: int = 8) -> str:
+        """Human-readable straggler/occupancy table."""
+        occupancy = self.occupancy()
+        lines = [
+            f"{'tile':>6} {'straggler supersteps':>21} {'active supersteps':>18} "
+            f"{'cycles':>14}"
+        ]
+        for row in self.stragglers(k):
+            lines.append(
+                f"{row['tile']:>6} {row['straggler_supersteps']:>21} "
+                f"{row['active_supersteps']:>18} {row['cycles']:>14.1f}"
+            )
+        lines.append(
+            f"{int(occupancy['tiles_used'])} tile(s) used, "
+            f"mean active fraction {occupancy['mean_active_fraction']:.3f}, "
+            f"cycle imbalance {occupancy['imbalance']:.3f}"
+        )
+        return "\n".join(lines)
+
+
+class _TileAccumulator:
+    """Mutable per-tile accounting behind a deep-mode :class:`Profiler`."""
+
+    def __init__(self, total_tiles: int) -> None:
+        self.total_tiles = total_tiles
+        self.reset()
+
+    def reset(self) -> None:
+        self.compute_cycles = 0.0
+        self.supersteps = 0
+        self.tile_cycles = np.zeros(self.total_tiles, dtype=np.float64)
+        self.tile_active = np.zeros(self.total_tiles, dtype=np.int64)
+        self.tile_straggler = np.zeros(self.total_tiles, dtype=np.int64)
+        self.compute_sets: dict[str, dict[str, object]] = {}
+        self.series: list[SuperstepSample] = []
+        self.exchange_by_tensor: dict[str, int] = {}
+
+    def record(
+        self,
+        name: str,
+        charge: SuperstepCharge,
+        compute_cycles: float,
+        exchange_bytes: int,
+        tile_ids: np.ndarray | None,
+        tile_cycles: np.ndarray | None,
+        exchange_by_tensor: typing.Mapping[str, int] | None,
+    ) -> None:
+        if exchange_by_tensor:
+            for tensor, moved in exchange_by_tensor.items():
+                self.exchange_by_tensor[tensor] = (
+                    self.exchange_by_tensor.get(tensor, 0) + moved
+                )
+        row = self.compute_sets.get(name)
+        if row is None:
+            row = {
+                "executions": 0,
+                "compute_cycles": 0.0,
+                "vertex_cycles": 0.0,
+                "tiles_in_use": 0,
+                "exchange_bytes": 0,
+                "exchange_by_tensor": {},
+            }
+            self.compute_sets[name] = row
+        row["executions"] += 1
+        row["compute_cycles"] += compute_cycles
+        row["exchange_bytes"] += exchange_bytes
+        if exchange_by_tensor:
+            per_tensor = row["exchange_by_tensor"]
+            for tensor, moved in exchange_by_tensor.items():
+                per_tensor[tensor] = per_tensor.get(tensor, 0) + moved
+        if tile_ids is None or tile_cycles is None or len(tile_ids) == 0:
+            # Copies carry no per-tile compute, but they still consume
+            # modeled device time; keeping them in the series (straggler
+            # -1) lets timeline exports stay aligned with the superstep
+            # lane.  ``supersteps`` stays compute-only.
+            self.series.append(
+                SuperstepSample(
+                    name=name,
+                    compute_seconds=charge.compute_seconds,
+                    total_seconds=charge.total_seconds,
+                    max_tile_cycles=0.0,
+                    mean_tile_cycles=0.0,
+                    imbalance=1.0,
+                    straggler_tile=-1,
+                )
+            )
+            return
+        self.compute_cycles += compute_cycles
+        self.supersteps += 1
+        vertex_cycles = float(tile_cycles.sum())
+        row["vertex_cycles"] += vertex_cycles
+        row["tiles_in_use"] = max(row["tiles_in_use"], len(tile_ids))
+        np.add.at(self.tile_cycles, tile_ids, tile_cycles)
+        self.tile_active[tile_ids] += 1
+        straggler_index = int(np.argmax(tile_cycles))
+        straggler = int(tile_ids[straggler_index])
+        self.tile_straggler[straggler] += 1
+        peak = float(tile_cycles[straggler_index])
+        mean = vertex_cycles / len(tile_ids)
+        self.series.append(
+            SuperstepSample(
+                name=name,
+                compute_seconds=charge.compute_seconds,
+                total_seconds=charge.total_seconds,
+                max_tile_cycles=peak,
+                mean_tile_cycles=mean,
+                imbalance=peak / mean if mean > 0 else 1.0,
+                straggler_tile=straggler,
+            )
+        )
+
+    def snapshot(self) -> TileProfile:
+        return TileProfile(
+            total_tiles=self.total_tiles,
+            supersteps=self.supersteps,
+            compute_cycles=self.compute_cycles,
+            tile_cycles=self.tile_cycles.copy(),
+            tile_active_supersteps=self.tile_active.copy(),
+            tile_straggler_count=self.tile_straggler.copy(),
+            compute_sets=tuple(
+                TileComputeSetStats(
+                    name=name,
+                    executions=int(row["executions"]),
+                    compute_cycles=float(row["compute_cycles"]),
+                    vertex_cycles=float(row["vertex_cycles"]),
+                    tiles_in_use=int(row["tiles_in_use"]),
+                    exchange_bytes=int(row["exchange_bytes"]),
+                    exchange_by_tensor=dict(row["exchange_by_tensor"]),
+                )
+                for name, row in self.compute_sets.items()
+            ),
+            series=tuple(self.series),
+            exchange_by_tensor=dict(self.exchange_by_tensor),
+        )
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+
 @dataclasses.dataclass(frozen=True)
 class ProfileReport:
-    """Immutable snapshot of a finished run."""
+    """Immutable snapshot of a finished run.
+
+    ``compute_cycles`` and the ``phase_*_seconds`` headers are accumulated
+    through one code path shared by every profiling depth, so they are
+    bit-identical between lite, detailed, and deep runs of the same
+    program.  Reports rebuilt from old exported documents (without phase
+    headers) fall back to summing their records.
+    """
 
     records: tuple[StepRecord, ...]
     supersteps: int
     host_io_seconds: float
+    compute_cycles: float = 0.0
+    phase_compute_seconds: float | None = None
+    phase_sync_seconds: float | None = None
+    phase_exchange_seconds: float | None = None
+    tiles: TileProfile | None = None
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Whole-run modeled seconds per BSP phase."""
+        if self.phase_compute_seconds is None:
+            return {
+                "compute": sum(r.compute_seconds for r in self.records),
+                "sync": sum(r.sync_seconds for r in self.records),
+                "exchange": sum(r.exchange_seconds for r in self.records),
+            }
+        return {
+            "compute": self.phase_compute_seconds,
+            "sync": self.phase_sync_seconds,
+            "exchange": self.phase_exchange_seconds,
+        }
 
     @property
     def device_seconds(self) -> float:
         """Total modeled on-device time (the paper-comparable number)."""
-        return sum(record.total_seconds for record in self.records)
+        phases = self.phase_seconds
+        return phases["compute"] + phases["sync"] + phases["exchange"]
 
     @property
     def total_seconds(self) -> float:
@@ -106,25 +471,126 @@ class ProfileReport:
             if record.name.startswith(prefix)
         )
 
-    def format_table(self) -> str:
-        """Human-readable per-step table (sorted by total time)."""
-        lines = [
-            f"{'compute set':<32} {'execs':>8} {'compute ms':>12} "
-            f"{'exchange ms':>12} {'sync ms':>10} {'total ms':>10}"
-        ]
+    def summary(self) -> list[dict[str, float | int | str]]:
+        """Per-record rows sorted by total time descending.
+
+        Each row carries the phase seconds, byte volume, and
+        ``pct_of_device`` — the record's share of the run's total modeled
+        device time — so the dominant step reads off the first row.
+        """
+        device = self.device_seconds
+        rows = []
         for record in sorted(
             self.records, key=lambda r: r.total_seconds, reverse=True
         ):
+            rows.append(
+                {
+                    "name": record.name,
+                    "executions": record.executions,
+                    "compute_seconds": record.compute_seconds,
+                    "sync_seconds": record.sync_seconds,
+                    "exchange_seconds": record.exchange_seconds,
+                    "total_seconds": record.total_seconds,
+                    "exchange_bytes": record.exchange_bytes,
+                    "pct_of_device": (
+                        100.0 * record.total_seconds / device if device > 0 else 0.0
+                    ),
+                }
+            )
+        return rows
+
+    def critical_path(
+        self, prefixes: typing.Iterable[str] = CRITICAL_PATH_PREFIXES
+    ) -> dict[str, typing.Any]:
+        """Which step and which BSP phase bound the run.
+
+        Groups records by step-name prefix and splits each group into its
+        compute/sync/exchange seconds; the *bounding* step is the group
+        with the largest total, and the bounding phase is that group's
+        largest phase.  ``phase_seconds`` and ``dominant_phase`` give the
+        same answer for the whole run.  Records matching no prefix are
+        reported under ``"other"``.
+        """
+        prefixes = tuple(prefixes)
+        groups: dict[str, dict[str, float]] = {
+            prefix: {"compute": 0.0, "sync": 0.0, "exchange": 0.0, "total": 0.0}
+            for prefix in prefixes
+        }
+        groups["other"] = {"compute": 0.0, "sync": 0.0, "exchange": 0.0, "total": 0.0}
+        for record in self.records:
+            for prefix in prefixes:
+                if record.name.startswith(prefix):
+                    group = groups[prefix]
+                    break
+            else:
+                group = groups["other"]
+            group["compute"] += record.compute_seconds
+            group["sync"] += record.sync_seconds
+            group["exchange"] += record.exchange_seconds
+            group["total"] += record.total_seconds
+        device = self.device_seconds
+        for group in groups.values():
+            group["share"] = group["total"] / device if device > 0 else 0.0
+        bounding_prefix = max(groups, key=lambda name: groups[name]["total"])
+        bounding = groups[bounding_prefix]
+        bounding_phase = max(
+            ("compute", "sync", "exchange"), key=lambda phase: bounding[phase]
+        )
+        phases = self.phase_seconds
+        dominant_phase = max(phases, key=phases.get)
+        return {
+            "steps": groups,
+            "bounding_step": bounding_prefix,
+            "bounding_phase": bounding_phase,
+            "phase_seconds": phases,
+            "dominant_phase": dominant_phase,
+        }
+
+    def format_critical_path(self) -> str:
+        """Human-readable critical-path breakdown."""
+        analysis = self.critical_path()
+        lines = [
+            f"{'step':<12} {'compute ms':>12} {'sync ms':>10} "
+            f"{'exchange ms':>12} {'total ms':>10} {'share':>7}"
+        ]
+        steps = sorted(
+            analysis["steps"].items(), key=lambda kv: kv[1]["total"], reverse=True
+        )
+        for name, group in steps:
+            if group["total"] <= 0:
+                continue
             lines.append(
-                f"{record.name:<32} {record.executions:>8} "
-                f"{record.compute_seconds * 1e3:>12.4f} "
-                f"{record.exchange_seconds * 1e3:>12.4f} "
-                f"{record.sync_seconds * 1e3:>10.4f} "
-                f"{record.total_seconds * 1e3:>10.4f}"
+                f"{name:<12} {group['compute'] * 1e3:>12.4f} "
+                f"{group['sync'] * 1e3:>10.4f} "
+                f"{group['exchange'] * 1e3:>12.4f} "
+                f"{group['total'] * 1e3:>10.4f} {group['share'] * 100:>6.1f}%"
+            )
+        lines.append(
+            f"bounded by {analysis['bounding_step']} "
+            f"({analysis['bounding_phase']} phase); run-wide dominant phase: "
+            f"{analysis['dominant_phase']}"
+        )
+        return "\n".join(lines)
+
+    def format_table(self) -> str:
+        """Human-readable per-step table (sorted by total time descending)."""
+        lines = [
+            f"{'compute set':<32} {'execs':>8} {'compute ms':>12} "
+            f"{'exchange ms':>12} {'sync ms':>10} {'total ms':>10} {'% dev':>7}"
+        ]
+        for row in self.summary():
+            lines.append(
+                f"{row['name']:<32} {row['executions']:>8} "
+                f"{row['compute_seconds'] * 1e3:>12.4f} "
+                f"{row['exchange_seconds'] * 1e3:>12.4f} "
+                f"{row['sync_seconds'] * 1e3:>10.4f} "
+                f"{row['total_seconds'] * 1e3:>10.4f} "
+                f"{row['pct_of_device']:>6.1f}%"
             )
         lines.append(
             f"{'TOTAL':<32} {self.supersteps:>8} "
-            f"{'':>12} {'':>12} {'':>10} {self.device_seconds * 1e3:>10.4f}"
+            f"{'':>12} {'':>12} {'':>10} {self.device_seconds * 1e3:>10.4f} "
+            f"{100.0 if self.records else 0.0:>6.1f}%"
         )
         return "\n".join(lines)
 
@@ -134,20 +600,24 @@ class Profiler:
 
     ``detailed=False`` switches to aggregate-only accounting: per-name
     records are skipped (the whole run collapses into one synthetic
-    ``all/aggregate`` record at :meth:`report` time) and the compute/sync
-    conversion is deferred — compute cycles accumulate raw and convert
-    once, the constant sync charge is multiplied by the superstep count.
-    The exchange phase is still priced per superstep because its cost
-    model is not linear (overlapping transfers + a setup constant that
-    vanishes for empty exchanges).  This is the throughput-batch mode:
-    the total device time keeps the same cost model (summation order
-    differs, so the last bits of the float total may differ from the
-    detailed sum), but per-step attribution is unavailable.
+    ``all/aggregate`` record at :meth:`report` time).  ``tiles=True``
+    (deep mode, implies detailed) additionally accumulates per-tile
+    attribution fed by the engine.
+
+    Every depth accumulates the run-total scalars (supersteps, compute
+    cycles, exchange seconds/bytes) through the same statements in the
+    same order, so the headline totals of a report are bit-identical
+    across depths; only attribution granularity differs.  The exchange
+    phase is priced per superstep in all modes because its cost model is
+    not linear (overlapping transfers + a setup constant that vanishes for
+    empty exchanges).
     """
 
-    def __init__(self, spec: IPUSpec, *, detailed: bool = True) -> None:
+    def __init__(
+        self, spec: IPUSpec, *, detailed: bool = True, tiles: bool = False
+    ) -> None:
         self._spec = spec
-        self._detailed = detailed
+        self._detailed = detailed or tiles
         self._records: dict[str, StepRecord] = {}
         self._supersteps = 0
         self._host_io_seconds = 0.0
@@ -155,10 +625,16 @@ class Profiler:
         self._agg_exchange_seconds = 0.0
         self._agg_exchange_bytes = 0
         self._agg_inter_ipu_bytes = 0
+        self._tiles = _TileAccumulator(spec.total_tiles) if tiles else None
 
     @property
     def detailed(self) -> bool:
         return self._detailed
+
+    @property
+    def tiles(self) -> bool:
+        """True when the engine should feed per-tile data (deep mode)."""
+        return self._tiles is not None
 
     def reset(self) -> None:
         """Clear accumulated charges so the profiler can serve another run.
@@ -174,6 +650,8 @@ class Profiler:
         self._agg_exchange_seconds = 0.0
         self._agg_exchange_bytes = 0
         self._agg_inter_ipu_bytes = 0
+        if self._tiles is not None:
+            self._tiles.reset()
 
     def record_superstep(
         self,
@@ -181,30 +659,38 @@ class Profiler:
         compute_cycles: float,
         exchange_bytes: int,
         inter_ipu_bytes: int = 0,
+        *,
+        tile_ids: np.ndarray | None = None,
+        tile_cycles: np.ndarray | None = None,
+        exchange_by_tensor: typing.Mapping[str, int] | None = None,
     ) -> SuperstepCharge | None:
         """Charge one BSP superstep: compute + sync + exchange.
 
         ``inter_ipu_bytes`` is the subset of the exchange crossing chip
-        boundaries (charged at IPU-Link bandwidth).  Returns the charged
-        phase seconds so callers (the engine) can trace the superstep
-        without recomputing the cost model; aggregate-only profilers
-        return ``None`` (tracing forces a detailed profiler).
+        boundaries (charged at IPU-Link bandwidth).  In deep mode the
+        engine additionally passes the superstep's per-tile cycle totals
+        (``tile_ids``/``tile_cycles``) and the compute set's static
+        per-tensor exchange attribution.  Returns the charged phase
+        seconds so callers (the engine) can trace the superstep without
+        recomputing the cost model; aggregate-only profilers return
+        ``None`` (tracing forces a detailed profiler).
         """
+        exchange_seconds = self._spec.exchange_seconds(
+            exchange_bytes, inter_ipu_bytes
+        )
+        # Shared accumulation path: identical statements in identical
+        # order for every profiling depth => bit-identical run totals.
+        self._supersteps += 1
+        self._agg_compute_cycles += compute_cycles
+        self._agg_exchange_seconds += exchange_seconds
+        self._agg_exchange_bytes += exchange_bytes
+        self._agg_inter_ipu_bytes += inter_ipu_bytes
         if not self._detailed:
-            self._supersteps += 1
-            self._agg_compute_cycles += compute_cycles
-            self._agg_exchange_seconds += self._spec.exchange_seconds(
-                exchange_bytes, inter_ipu_bytes
-            )
-            self._agg_exchange_bytes += exchange_bytes
-            self._agg_inter_ipu_bytes += inter_ipu_bytes
             return None
         charge = SuperstepCharge(
             compute_seconds=self._spec.cycles_to_seconds(compute_cycles),
             sync_seconds=self._spec.sync_seconds(),
-            exchange_seconds=self._spec.exchange_seconds(
-                exchange_bytes, inter_ipu_bytes
-            ),
+            exchange_seconds=exchange_seconds,
         )
         record = self._records.setdefault(name, StepRecord(name))
         record.executions += 1
@@ -213,7 +699,17 @@ class Profiler:
         record.exchange_seconds += charge.exchange_seconds
         record.exchange_bytes += exchange_bytes
         record.inter_ipu_bytes += inter_ipu_bytes
-        self._supersteps += 1
+        record.compute_cycles += compute_cycles
+        if self._tiles is not None:
+            self._tiles.record(
+                name,
+                charge,
+                compute_cycles,
+                exchange_bytes,
+                tile_ids,
+                tile_cycles,
+                exchange_by_tensor,
+            )
         return charge
 
     def record_host_io(self, num_bytes: int) -> None:
@@ -226,27 +722,35 @@ class Profiler:
 
     def report(self) -> ProfileReport:
         """Snapshot the accumulated costs."""
+        header = {
+            "supersteps": self._supersteps,
+            "host_io_seconds": self._host_io_seconds,
+            "compute_cycles": self._agg_compute_cycles,
+            "phase_compute_seconds": self._spec.cycles_to_seconds(
+                self._agg_compute_cycles
+            ),
+            "phase_sync_seconds": self._supersteps * self._spec.sync_seconds(),
+            "phase_exchange_seconds": self._agg_exchange_seconds,
+        }
         if not self._detailed:
             aggregate = StepRecord(
                 "all/aggregate",
                 executions=self._supersteps,
-                compute_seconds=self._spec.cycles_to_seconds(
-                    self._agg_compute_cycles
-                ),
-                sync_seconds=self._supersteps * self._spec.sync_seconds(),
+                compute_seconds=header["phase_compute_seconds"],
+                sync_seconds=header["phase_sync_seconds"],
                 exchange_seconds=self._agg_exchange_seconds,
                 exchange_bytes=self._agg_exchange_bytes,
                 inter_ipu_bytes=self._agg_inter_ipu_bytes,
+                compute_cycles=self._agg_compute_cycles,
             )
             return ProfileReport(
                 records=(aggregate,) if self._supersteps else (),
-                supersteps=self._supersteps,
-                host_io_seconds=self._host_io_seconds,
+                **header,
             )
         return ProfileReport(
             records=tuple(
                 dataclasses.replace(record) for record in self._records.values()
             ),
-            supersteps=self._supersteps,
-            host_io_seconds=self._host_io_seconds,
+            tiles=self._tiles.snapshot() if self._tiles is not None else None,
+            **header,
         )

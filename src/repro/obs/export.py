@@ -20,6 +20,11 @@ schema                      produced by
                             trees from :class:`repro.obs.spans.SpanCollector`)
 ``repro.golden-trace/1``    ``tests/test_golden_trace.py`` (the committed
                             bit-exact control-flow fingerprint)
+``repro.tile-profile/1``    :func:`tile_profile_to_dict` (deep-profiling
+                            per-tile attribution: stragglers, occupancy,
+                            imbalance series, per-tensor exchange bytes)
+``repro.perf/1``            :mod:`repro.obs.perf` (benchmark trend store the
+                            ``repro perf`` regression harness diffs against)
 ==========================  ====================================================
 
 Beyond the schema-stamped documents, :func:`perfetto_from_documents` merges
@@ -40,12 +45,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import pathlib
 from typing import Any, Mapping
 
 import numpy as np
 
-from repro.ipu.profiler import ProfileReport, StepRecord
+from repro.ipu.profiler import ProfileReport, StepRecord, TileProfile
 
 __all__ = [
     "SchemaError",
@@ -55,9 +61,14 @@ __all__ = [
     "BENCH_SCHEMA",
     "CHECK_SCHEMA",
     "SERVE_SCHEMA",
+    "TILE_SCHEMA",
+    "PERF_SCHEMA",
     "to_jsonable",
     "profile_report_to_dict",
     "profile_report_from_dict",
+    "tile_profile_to_dict",
+    "validate_tile_profile",
+    "validate_perf_document",
     "trace_to_dict",
     "metrics_to_dict",
     "experiment_result_to_dict",
@@ -87,6 +98,8 @@ CHECK_SCHEMA = "repro.check/1"
 SERVE_SCHEMA = "repro.serve/1"
 SPANS_SCHEMA = "repro.spans/1"
 GOLDEN_SCHEMA = "repro.golden-trace/1"
+TILE_SCHEMA = "repro.tile-profile/1"
+PERF_SCHEMA = "repro.perf/1"
 
 
 class SchemaError(ValueError):
@@ -138,16 +151,32 @@ def write_json(path: pathlib.Path | str, document: Mapping[str, Any]) -> pathlib
 
 
 def profile_report_to_dict(report: ProfileReport) -> dict[str, Any]:
-    """``repro.profile/1`` document for one BSP cost report."""
-    return {
+    """``repro.profile/1`` document for one BSP cost report.
+
+    The phase headers (``compute_cycles``, ``phase_seconds``) are emitted
+    when the report carries them (reports produced by this version always
+    do); documents from older exports omit them and round-trip through the
+    sum-of-records fallback.
+    """
+    document = {
         "schema": PROFILE_SCHEMA,
         "supersteps": report.supersteps,
         "host_io_seconds": report.host_io_seconds,
         "device_seconds": report.device_seconds,
         "exchange_bytes": report.exchange_bytes,
         "inter_ipu_bytes": report.inter_ipu_bytes,
-        "records": [dataclasses.asdict(record) for record in report.records],
+        "records": [
+            {
+                field.name: getattr(record, field.name)
+                for field in dataclasses.fields(record)
+            }
+            for record in report.records
+        ],
     }
+    if report.phase_compute_seconds is not None:
+        document["compute_cycles"] = report.compute_cycles
+        document["phase_seconds"] = report.phase_seconds
+    return document
 
 
 def profile_report_from_dict(document: Mapping[str, Any]) -> ProfileReport:
@@ -162,14 +191,77 @@ def profile_report_from_dict(document: Mapping[str, Any]) -> ProfileReport:
             exchange_seconds=float(row["exchange_seconds"]),
             exchange_bytes=int(row["exchange_bytes"]),
             inter_ipu_bytes=int(row["inter_ipu_bytes"]),
+            compute_cycles=float(row.get("compute_cycles", 0.0)),
         )
         for row in document["records"]
     )
+    phases = document.get("phase_seconds")
     return ProfileReport(
         records=records,
         supersteps=int(document["supersteps"]),
         host_io_seconds=float(document["host_io_seconds"]),
+        compute_cycles=float(document.get("compute_cycles", 0.0)),
+        phase_compute_seconds=(
+            float(phases["compute"]) if phases is not None else None
+        ),
+        phase_sync_seconds=float(phases["sync"]) if phases is not None else None,
+        phase_exchange_seconds=(
+            float(phases["exchange"]) if phases is not None else None
+        ),
     )
+
+
+def tile_profile_to_dict(
+    tiles: TileProfile,
+    meta: Mapping[str, Any] | None = None,
+    *,
+    heatmap_width: int | None = None,
+    include_heatmap: bool = False,
+    max_series: int | None = None,
+) -> dict[str, Any]:
+    """``repro.tile-profile/1`` document for one deep-profiled run.
+
+    ``tiles`` lists only non-idle tiles (a quick solve touches a handful
+    of the 1472).  ``include_heatmap`` adds the dense 2-D cycle grid;
+    ``max_series`` truncates the per-superstep series (the truncation is
+    recorded in ``series_truncated`` so it is never silent).
+    """
+    active = np.flatnonzero(tiles.tile_active_supersteps)
+    series = [dataclasses.asdict(sample) for sample in tiles.series]
+    truncated = 0
+    if max_series is not None and len(series) > max_series:
+        truncated = len(series) - max_series
+        series = series[:max_series]
+    document: dict[str, Any] = {
+        "schema": TILE_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "total_tiles": tiles.total_tiles,
+        "supersteps": tiles.supersteps,
+        "compute_cycles": tiles.compute_cycles,
+        "vertex_cycles": tiles.vertex_cycles,
+        "tiles_used": tiles.tiles_used,
+        "occupancy": tiles.occupancy(),
+        "imbalance_over_time": tiles.imbalance_over_time(),
+        "stragglers": tiles.stragglers(),
+        "tiles": [
+            {
+                "tile": int(tile),
+                "cycles": float(tiles.tile_cycles[tile]),
+                "active_supersteps": int(tiles.tile_active_supersteps[tile]),
+                "straggler_supersteps": int(tiles.tile_straggler_count[tile]),
+            }
+            for tile in active
+        ],
+        "compute_sets": [
+            dataclasses.asdict(stats) for stats in tiles.compute_sets
+        ],
+        "exchange_by_tensor": dict(tiles.exchange_by_tensor),
+        "series": series,
+        "series_truncated": truncated,
+    }
+    if include_heatmap:
+        document["heatmap"] = tiles.heatmap(heatmap_width)
+    return document
 
 
 # ----------------------------------------------------------------------
@@ -250,8 +342,9 @@ def _perfetto_meta(pid: int, name: str) -> dict[str, Any]:
 def perfetto_from_documents(
     spans_document: Mapping[str, Any] | None = None,
     trace_document: Mapping[str, Any] | None = None,
+    tile_document: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Merge spans and/or a BSP trace into Chrome trace-event JSON.
+    """Merge spans, a BSP trace, and/or a tile profile into Chrome trace JSON.
 
     * Request spans become ``"X"`` (complete) events on the *requests*
       process (pid 1), one thread lane per correlation id, with the span
@@ -264,11 +357,19 @@ def perfetto_from_documents(
       the spans document contains an ``engine.run`` span the engine lane is
       offset to start at that span's start, linking the request tree to the
       superstep slices it triggered.
+    * A ``repro.tile-profile/1`` document adds two more tracks on the
+      engine process: a *straggler tiles* lane (one slice per compute
+      superstep, named after the tile that gated it, lasting the compute
+      phase) and a ``tile imbalance`` counter (``"C"`` events).  The tile
+      series advances by the same per-superstep ``total_seconds`` as the
+      superstep lane, so the tracks line up exactly.
 
     Load the result at https://ui.perfetto.dev or ``chrome://tracing``.
     """
-    if spans_document is None and trace_document is None:
-        raise SchemaError("perfetto export needs a spans and/or trace document")
+    if spans_document is None and trace_document is None and tile_document is None:
+        raise SchemaError(
+            "perfetto export needs a spans and/or trace and/or tile document"
+        )
     events: list[dict[str, Any]] = []
 
     engine_offset_s = 0.0
@@ -346,6 +447,52 @@ def perfetto_from_documents(
                 "pid": _PERFETTO_ENGINE_PID,
                 "tid": 1,
                 "args": {"name": "BSP supersteps"},
+            }
+        )
+
+    if tile_document is not None:
+        validate_tile_profile(tile_document)
+        cursor_s = engine_offset_s
+        for sample in tile_document["series"]:
+            duration_s = float(sample["total_seconds"])
+            straggler = int(sample["straggler_tile"])
+            if straggler >= 0:
+                events.append(
+                    {
+                        "name": f"tile {straggler}",
+                        "cat": "straggler",
+                        "ph": "X",
+                        "ts": cursor_s * 1e6,
+                        "dur": float(sample["compute_seconds"]) * 1e6,
+                        "pid": _PERFETTO_ENGINE_PID,
+                        "tid": 2,
+                        "args": {
+                            "superstep": sample["name"],
+                            "max_tile_cycles": sample["max_tile_cycles"],
+                            "mean_tile_cycles": sample["mean_tile_cycles"],
+                            "imbalance": sample["imbalance"],
+                        },
+                    }
+                )
+                events.append(
+                    {
+                        "name": "tile imbalance",
+                        "ph": "C",
+                        "ts": cursor_s * 1e6,
+                        "pid": _PERFETTO_ENGINE_PID,
+                        "args": {"max_over_mean": float(sample["imbalance"])},
+                    }
+                )
+            cursor_s += duration_s
+        if trace_document is None:
+            events.append(_perfetto_meta(_PERFETTO_ENGINE_PID, "engine (modeled)"))
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PERFETTO_ENGINE_PID,
+                "tid": 2,
+                "args": {"name": "straggler tiles"},
             }
         )
 
@@ -741,6 +888,161 @@ def validate_golden_trace(document: Mapping[str, Any]) -> None:
     )
 
 
+def validate_tile_profile(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.tile-profile/1`` document.
+
+    Beyond key presence this enforces the deep profiler's accounting
+    invariants: non-idle tile cycles sum to the vertex-cycle total,
+    per-tensor exchange bytes sum (exactly — they are integers) to each
+    compute set's exchange budget, and the series contains exactly
+    ``supersteps`` compute entries (copies carry ``straggler_tile == -1``).
+    """
+    _require_keys(
+        document,
+        ("schema", "total_tiles", "supersteps", "compute_cycles",
+         "vertex_cycles", "tiles_used", "occupancy", "stragglers", "tiles",
+         "compute_sets", "exchange_by_tensor", "series"),
+        "tile-profile",
+    )
+    _require(
+        document["schema"] == TILE_SCHEMA,
+        "tile-profile.schema",
+        f"expected {TILE_SCHEMA!r}, got {document['schema']!r}",
+    )
+    total_tiles = int(document["total_tiles"])
+    tiles = document["tiles"]
+    _require(isinstance(tiles, list), "tile-profile.tiles", "expected a list")
+    _require(
+        len(tiles) == int(document["tiles_used"]),
+        "tile-profile.tiles_used",
+        f"{len(tiles)} non-idle tiles listed, header says "
+        f"{document['tiles_used']}",
+    )
+    cycle_sum = 0.0
+    for index, row in enumerate(tiles):
+        path = f"tile-profile.tiles[{index}]"
+        _require_keys(
+            row,
+            ("tile", "cycles", "active_supersteps", "straggler_supersteps"),
+            path,
+        )
+        _require(
+            0 <= int(row["tile"]) < total_tiles,
+            f"{path}.tile",
+            f"tile {row['tile']} out of range for {total_tiles} tiles",
+        )
+        cycle_sum += float(row["cycles"])
+    _require(
+        math.isclose(
+            cycle_sum, float(document["vertex_cycles"]), rel_tol=1e-9, abs_tol=1e-9
+        ),
+        "tile-profile.vertex_cycles",
+        f"tile cycles sum to {cycle_sum}, header says "
+        f"{document['vertex_cycles']}",
+    )
+    totals_by_tensor: dict[str, int] = {}
+    for index, stats in enumerate(document["compute_sets"]):
+        path = f"tile-profile.compute_sets[{index}]"
+        _require_keys(
+            stats,
+            ("name", "executions", "compute_cycles", "vertex_cycles",
+             "tiles_in_use", "exchange_bytes", "exchange_by_tensor"),
+            path,
+        )
+        per_tensor = stats["exchange_by_tensor"]
+        _require(
+            isinstance(per_tensor, Mapping),
+            f"{path}.exchange_by_tensor",
+            "expected an object",
+        )
+        attributed = sum(int(moved) for moved in per_tensor.values())
+        _require(
+            attributed == int(stats["exchange_bytes"]),
+            f"{path}.exchange_by_tensor",
+            f"per-tensor bytes sum to {attributed}, compute set moved "
+            f"{stats['exchange_bytes']}",
+        )
+        for tensor, moved in per_tensor.items():
+            totals_by_tensor[tensor] = totals_by_tensor.get(tensor, 0) + int(moved)
+    _require(
+        totals_by_tensor
+        == {key: int(value) for key, value in document["exchange_by_tensor"].items()},
+        "tile-profile.exchange_by_tensor",
+        "run-level per-tensor bytes disagree with the per-compute-set sums",
+    )
+    compute_entries = 0
+    for index, sample in enumerate(document["series"]):
+        path = f"tile-profile.series[{index}]"
+        _require_keys(
+            sample,
+            ("name", "compute_seconds", "total_seconds", "max_tile_cycles",
+             "mean_tile_cycles", "imbalance", "straggler_tile"),
+            path,
+        )
+        if int(sample["straggler_tile"]) >= 0:
+            compute_entries += 1
+    supersteps = int(document["supersteps"])
+    if int(document.get("series_truncated", 0)) > 0:
+        _require(
+            compute_entries <= supersteps,
+            "tile-profile.series",
+            f"{compute_entries} compute entries exceed the "
+            f"{supersteps} compute supersteps",
+        )
+    else:
+        _require(
+            compute_entries == supersteps,
+            "tile-profile.series",
+            f"{compute_entries} compute entries for {supersteps} compute "
+            f"supersteps (and the series is not truncated)",
+        )
+    if "heatmap" in document:
+        heatmap = document["heatmap"]
+        _require_keys(
+            heatmap, ("width", "rows", "total_tiles", "cycles"),
+            "tile-profile.heatmap",
+        )
+        _require(
+            int(heatmap["width"]) * int(heatmap["rows"]) >= total_tiles,
+            "tile-profile.heatmap",
+            "grid smaller than the tile count",
+        )
+
+
+def validate_perf_document(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.perf/1`` trend-store document.
+
+    Every run needs a benchmark key, a numeric metrics map, and enough
+    context (git revision, timestamp, scale) to interpret a trend point
+    later; runs are append-only, so order is meaningful but unchecked.
+    """
+    _require_keys(document, ("schema", "meta", "runs"), "perf")
+    _require(
+        document["schema"] == PERF_SCHEMA,
+        "perf.schema",
+        f"expected {PERF_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require(isinstance(document["runs"], list), "perf.runs", "expected a list")
+    for index, run in enumerate(document["runs"]):
+        path = f"perf.runs[{index}]"
+        _require_keys(run, ("benchmark", "params", "metrics", "context"), path)
+        metrics = run["metrics"]
+        _require(
+            isinstance(metrics, Mapping) and len(metrics) > 0,
+            f"{path}.metrics",
+            "expected a non-empty object",
+        )
+        for name, value in metrics.items():
+            _require(
+                isinstance(value, (int, float)) and not isinstance(value, bool),
+                f"{path}.metrics.{name}",
+                f"expected a number, got {value!r}",
+            )
+        _require_keys(
+            run["context"], ("git_rev", "timestamp", "scale"), f"{path}.context"
+        )
+
+
 def validate_perfetto(document: Mapping[str, Any]) -> None:
     """Check a Chrome trace-event / Perfetto JSON object's shape.
 
@@ -778,6 +1080,8 @@ _VALIDATORS = {
     SERVE_SCHEMA: validate_serve_stats,
     SPANS_SCHEMA: validate_spans,
     GOLDEN_SCHEMA: validate_golden_trace,
+    TILE_SCHEMA: validate_tile_profile,
+    PERF_SCHEMA: validate_perf_document,
 }
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_SECONDS_BUCKETS",
+    "IMBALANCE_RATIO_BUCKETS",
     "BUCKET_PRESETS",
     "MetricsRegistry",
     "default_registry",
@@ -51,10 +52,16 @@ LATENCY_SECONDS_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
+#: Tile load-imbalance preset: max/mean compute cycles over tiles in use
+#: per superstep.  1.0 is a perfectly level superstep; the long tail covers
+#: scalar supersteps where one tile does all the work.
+IMBALANCE_RATIO_BUCKETS = (1.0, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0)
+
 #: Named bucket presets (``Histogram(..., buckets=BUCKET_PRESETS[name])``).
 BUCKET_PRESETS = {
     "default": _DEFAULT_BUCKETS,
     "latency_seconds": LATENCY_SECONDS_BUCKETS,
+    "imbalance_ratio": IMBALANCE_RATIO_BUCKETS,
 }
 
 

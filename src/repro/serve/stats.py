@@ -30,7 +30,12 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lower == upper:
         return float(values[lower])
     weight = position - lower
-    return float(values[lower] * (1 - weight) + values[upper] * weight)
+    # lo + w*(hi - lo), not lo*(1-w) + hi*w: the two-product form can
+    # round outside [lo, hi] when lo == hi (w*lo + (1-w)*lo need not
+    # re-sum to lo in floating point); this form is numpy's and is
+    # bounded by construction.
+    lo, hi = float(values[lower]), float(values[upper])
+    return lo + weight * (hi - lo)
 
 
 def latency_summary(latencies: Sequence[float]) -> dict:

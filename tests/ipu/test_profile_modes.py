@@ -1,0 +1,122 @@
+"""Differential tests across the three profiling depths.
+
+Lite (aggregate-only), detailed (per-compute-set), and deep (per-tile)
+profiling must tell the same story: every depth accumulates the run totals
+through the same statements in the same order, so supersteps, compute
+cycles, phase seconds, and byte volumes are **bit-identical** — exact
+``==``, not approx.  A drift here means the profiling mode changed what
+was measured, which would silently invalidate the lite-mode batch
+throughput numbers against the detailed benchmark tables.
+"""
+
+import pytest
+
+from repro.core.solver import HunIPUSolver
+from repro.data.synthetic import uniform_instance
+
+
+def _reports(size, engine_mode, seed=11):
+    """Solve the same instance at each depth; return the three reports."""
+    instance = uniform_instance(size, 1, seed=seed)
+    reports = {}
+    for depth in ("lite", "detailed", "deep"):
+        solver = HunIPUSolver(
+            engine_mode=engine_mode, profile_tiles=depth == "deep"
+        )
+        compiled = solver.compiled_for(size)
+        report = solver._run_engine(
+            compiled, instance, profile_detail=depth != "lite"
+        )
+        reports[depth] = report
+    return reports
+
+
+@pytest.mark.parametrize("engine_mode", ["batched", "per_tile"])
+@pytest.mark.parametrize("size", [8, 16, 32])
+class TestBitIdenticalTotals:
+    def test_headline_totals_identical(self, size, engine_mode):
+        reports = _reports(size, engine_mode)
+        lite, detailed, deep = (
+            reports["lite"], reports["detailed"], reports["deep"]
+        )
+        for other in (detailed, deep):
+            assert other.supersteps == lite.supersteps
+            assert other.compute_cycles == lite.compute_cycles
+            assert other.phase_compute_seconds == lite.phase_compute_seconds
+            assert other.phase_sync_seconds == lite.phase_sync_seconds
+            assert other.phase_exchange_seconds == lite.phase_exchange_seconds
+            assert other.device_seconds == lite.device_seconds
+            assert other.exchange_bytes == lite.exchange_bytes
+            assert other.inter_ipu_bytes == lite.inter_ipu_bytes
+
+    def test_lite_aggregate_record_matches_detailed_sums(self, size, engine_mode):
+        reports = _reports(size, engine_mode)
+        (aggregate,) = reports["lite"].records
+        detailed = reports["detailed"].records
+        assert aggregate.name == "all/aggregate"
+        assert aggregate.executions == sum(r.executions for r in detailed)
+        assert aggregate.exchange_bytes == sum(r.exchange_bytes for r in detailed)
+        assert aggregate.compute_cycles == reports["detailed"].compute_cycles
+
+    def test_detailed_and_deep_records_identical(self, size, engine_mode):
+        reports = _reports(size, engine_mode)
+        detailed = {r.name: r for r in reports["detailed"].records}
+        deep = {r.name: r for r in reports["deep"].records}
+        assert detailed.keys() == deep.keys()
+        for name, record in detailed.items():
+            assert deep[name] == record  # dataclass field-wise equality
+
+
+@pytest.mark.parametrize("engine_mode", ["batched", "per_tile"])
+class TestDeepAttributionConsistency:
+    """Per-tile attribution must re-sum to the aggregate totals."""
+
+    def test_per_set_cycles_sum_to_aggregate(self, engine_mode):
+        report = _reports(16, engine_mode)["deep"]
+        tiles = report.tiles
+        assert tiles is not None
+        # Charged cycles per compute set accumulate the identical stream
+        # as the StepRecords -> exact equality per name and in total.
+        by_name = {stats.name: stats for stats in tiles.compute_sets}
+        for record in report.records:
+            assert by_name[record.name].compute_cycles == record.compute_cycles
+        assert tiles.compute_cycles == report.compute_cycles
+
+    def test_series_aligns_with_superstep_timeline(self, engine_mode):
+        report = _reports(16, engine_mode)["deep"]
+        tiles = report.tiles
+        # Every engine superstep (copies included) appears in the series;
+        # `supersteps` counts the compute-only subset.
+        assert len(tiles.series) == report.supersteps
+        compute_samples = [s for s in tiles.series if s.straggler_tile >= 0]
+        assert len(compute_samples) == tiles.supersteps
+        assert sum(s.total_seconds for s in tiles.series) == pytest.approx(
+            report.device_seconds
+        )
+
+    def test_exchange_by_tensor_totals(self, engine_mode):
+        report = _reports(16, engine_mode)["deep"]
+        tiles = report.tiles
+        per_set_total = sum(
+            sum(stats.exchange_by_tensor.values()) for stats in tiles.compute_sets
+        )
+        assert sum(tiles.exchange_by_tensor.values()) == per_set_total
+        assert per_set_total == report.exchange_bytes
+
+    def test_solution_unaffected_by_profiling_depth(self, engine_mode):
+        instance = uniform_instance(16, 1, seed=11)
+        baseline = HunIPUSolver(engine_mode=engine_mode).solve(instance)
+        deep = HunIPUSolver(
+            engine_mode=engine_mode, profile_tiles=True
+        ).solve(instance)
+        assert deep.total_cost == baseline.total_cost
+        assert (deep.assignment == baseline.assignment).all()
+
+
+def test_solver_facade_deep_profile_reaches_stats():
+    solver = HunIPUSolver(profile_tiles=True)
+    result = solver.solve(uniform_instance(8, 1, seed=0))
+    report = result.stats["profile"]
+    assert report.tiles is not None
+    assert report.tiles.tiles_used > 0
+    assert report.tiles.compute_cycles == report.compute_cycles

@@ -115,6 +115,100 @@ class TestInvariants:
         assert charge.total_seconds == pytest.approx(record.total_seconds)
 
 
+class TestSummary:
+    def test_rows_sorted_by_total_descending(self, profiler):
+        profiler.record_superstep("light", 10, 0)
+        profiler.record_superstep("heavy", 1_000_000, 0)
+        profiler.record_superstep("middle", 10_000, 0)
+        rows = profiler.report().summary()
+        assert [row["name"] for row in rows] == ["heavy", "middle", "light"]
+        totals = [row["total_seconds"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_pct_of_device_sums_to_100(self, profiler):
+        profiler.record_superstep("a", 500, 64)
+        profiler.record_superstep("b", 1500, 0)
+        rows = profiler.report().summary()
+        assert sum(row["pct_of_device"] for row in rows) == pytest.approx(100.0)
+        assert all(row["pct_of_device"] > 0 for row in rows)
+
+    def test_row_fields(self, profiler):
+        profiler.record_superstep("a", 1325, 4096)
+        (row,) = profiler.report().summary()
+        record = profiler.report().record_named("a")
+        assert row["executions"] == 1
+        assert row["compute_seconds"] == pytest.approx(record.compute_seconds)
+        assert row["exchange_bytes"] == 4096
+        assert row["pct_of_device"] == pytest.approx(100.0)
+
+    def test_format_table_has_percent_column(self, profiler):
+        profiler.record_superstep("a", 100, 0)
+        table = profiler.report().format_table()
+        assert "% dev" in table
+        assert "100.0%" in table
+
+    def test_empty_report(self, profiler):
+        assert profiler.report().summary() == []
+
+
+class TestCriticalPath:
+    def test_groups_by_step_prefix(self, profiler):
+        profiler.record_superstep("step4/scan", 1000, 0)
+        profiler.record_superstep("step4/final", 2000, 0)
+        profiler.record_superstep("step6/update", 500, 0)
+        profiler.record_superstep("mystery/op", 100, 0)
+        analysis = profiler.report().critical_path()
+        report = profiler.report()
+        assert analysis["steps"]["step4"]["total"] == pytest.approx(
+            report.by_prefix("step4")
+        )
+        assert analysis["steps"]["other"]["total"] == pytest.approx(
+            report.record_named("mystery/op").total_seconds
+        )
+
+    def test_bounding_step_and_phase(self, profiler):
+        # One huge compute superstep: step5 must bound the run, and its
+        # group must be compute-dominated.
+        profiler.record_superstep("step5/augment", 10_000_000, 0)
+        profiler.record_superstep("step1/rows", 10, 0)
+        analysis = profiler.report().critical_path()
+        assert analysis["bounding_step"] == "step5"
+        assert analysis["bounding_phase"] == "compute"
+        assert analysis["dominant_phase"] == "compute"
+
+    def test_sync_bound_when_compute_is_tiny(self, profiler):
+        # Many near-empty supersteps: fixed sync dominates (the small-n
+        # regime the paper's scaling argument starts from).
+        for _ in range(50):
+            profiler.record_superstep("step3/cover", 1, 0)
+        analysis = profiler.report().critical_path()
+        assert analysis["dominant_phase"] == "sync"
+        assert analysis["bounding_phase"] == "sync"
+
+    def test_shares_sum_to_one(self, profiler):
+        profiler.record_superstep("step1/a", 100, 64)
+        profiler.record_superstep("step2/b", 200, 0)
+        analysis = profiler.report().critical_path()
+        assert sum(g["share"] for g in analysis["steps"].values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_phase_seconds_matches_report(self, profiler):
+        profiler.record_superstep("step1/a", 100, 64)
+        report = profiler.report()
+        analysis = report.critical_path()
+        assert analysis["phase_seconds"] == report.phase_seconds
+        assert sum(analysis["phase_seconds"].values()) == pytest.approx(
+            report.device_seconds
+        )
+
+    def test_format_mentions_bounding_step(self, profiler):
+        profiler.record_superstep("step4/scan", 1_000_000, 0)
+        text = profiler.report().format_critical_path()
+        assert "bounded by step4" in text
+        assert "dominant phase" in text
+
+
 class TestNamedLookup:
     def test_contains_and_get(self, profiler):
         profiler.record_superstep("step1/a", 100, 0)

@@ -27,6 +27,7 @@ from repro.obs import (
     validate_perfetto,
     write_json,
 )
+from repro.obs.export import tile_profile_to_dict
 
 
 @pytest.fixture
@@ -297,6 +298,151 @@ class TestPerfettoExport:
                     ]
                 }
             )
+
+
+def _deep_report(size=12, seed=4):
+    solver = HunIPUSolver(profile_tiles=True)
+    return solver.solve(gaussian_instance(size, 100, seed=seed)).stats["profile"]
+
+
+class TestTileProfileExport:
+    def test_valid_document_from_real_solve(self):
+        report = _deep_report()
+        document = tile_profile_to_dict(report.tiles, meta={"size": 12})
+        assert validate_document(document) == "repro.tile-profile/1"
+        assert document["meta"]["size"] == 12
+        assert document["tiles_used"] == len(document["tiles"])
+        json.dumps(to_jsonable(document))
+
+    def test_heatmap_included_on_request(self):
+        report = _deep_report()
+        document = tile_profile_to_dict(report.tiles, include_heatmap=True)
+        validate_document(document)
+        grid = document["heatmap"]
+        assert grid["width"] * grid["rows"] >= document["total_tiles"]
+        flat = [cell for row in grid["cycles"] for cell in row]
+        assert sum(flat) == pytest.approx(document["vertex_cycles"])
+
+    def test_series_truncation_is_recorded_not_silent(self):
+        report = _deep_report()
+        document = tile_profile_to_dict(report.tiles, max_series=3)
+        assert len(document["series"]) == 3
+        assert document["series_truncated"] == len(report.tiles.series) - 3
+        validate_document(document)  # still valid with the marker
+
+    def test_cycle_sum_mismatch_rejected(self):
+        document = tile_profile_to_dict(_deep_report().tiles)
+        document["tiles"][0]["cycles"] += 1.0
+        with pytest.raises(SchemaError, match="cycles"):
+            validate_document(document)
+
+    def test_per_tensor_attribution_must_sum_exactly(self):
+        document = tile_profile_to_dict(_deep_report().tiles)
+        target = next(
+            s for s in document["compute_sets"] if s["exchange_by_tensor"]
+        )
+        tensor = next(iter(target["exchange_by_tensor"]))
+        target["exchange_by_tensor"][tensor] += 1
+        with pytest.raises(SchemaError, match="exchange"):
+            validate_document(document)
+
+    def test_tiles_used_mismatch_rejected(self):
+        document = tile_profile_to_dict(_deep_report().tiles)
+        document["tiles_used"] += 1
+        with pytest.raises(SchemaError, match="tiles"):
+            validate_document(document)
+
+
+class TestPerfDocument:
+    def _document(self):
+        return {
+            "schema": "repro.perf/1",
+            "meta": {},
+            "runs": [
+                {
+                    "benchmark": "solve/n16",
+                    "params": {"n": 16},
+                    "metrics": {"wall_seconds": 0.01, "supersteps": 200},
+                    "context": {
+                        "git_rev": "abc1234",
+                        "timestamp": "2026-08-08T00:00:00+00:00",
+                        "scale": "quick",
+                    },
+                }
+            ],
+        }
+
+    def test_valid_document(self):
+        assert validate_document(self._document()) == "repro.perf/1"
+
+    def test_empty_runs_is_valid(self):
+        document = self._document()
+        document["runs"] = []
+        validate_document(document)
+
+    def test_missing_context_key_rejected(self):
+        document = self._document()
+        del document["runs"][0]["context"]["git_rev"]
+        with pytest.raises(SchemaError, match="git_rev"):
+            validate_document(document)
+
+    def test_non_numeric_metric_rejected(self):
+        document = self._document()
+        document["runs"][0]["metrics"]["wall_seconds"] = "fast"
+        with pytest.raises(SchemaError, match="expected a number"):
+            validate_document(document)
+
+    def test_empty_metrics_rejected(self):
+        document = self._document()
+        document["runs"][0]["metrics"] = {}
+        with pytest.raises(SchemaError, match="metric"):
+            validate_document(document)
+
+
+class TestPerfettoTileLane:
+    def test_tile_document_alone(self):
+        report = _deep_report()
+        tile_document = tile_profile_to_dict(report.tiles)
+        perfetto = perfetto_from_documents(tile_document=tile_document)
+        validate_perfetto(perfetto)
+        slices = [e for e in perfetto["traceEvents"] if e["ph"] == "X"]
+        compute = [s for s in tile_document["series"] if s["straggler_tile"] >= 0]
+        assert len(slices) == len(compute)
+        assert all(e["tid"] == 2 for e in slices)
+        assert all(e["name"].startswith("tile ") for e in slices)
+        counters = [e for e in perfetto["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == len(compute)
+        assert all("max_over_mean" in e["args"] for e in counters)
+        lane_names = [
+            e["args"]["name"]
+            for e in perfetto["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "straggler tiles" in lane_names
+
+    def test_tile_lane_aligns_with_superstep_lane(self):
+        # Both lanes advance by the same per-superstep total_seconds, so
+        # the tile slices must start inside the run's modeled window and
+        # the final cursor must land on device_seconds.
+        report = _deep_report()
+        tracer = Tracer()
+        for sample in report.tiles.series:
+            tracer.superstep(
+                sample.name,
+                total_seconds=sample.total_seconds,
+                compute_seconds=sample.compute_seconds,
+            )
+        perfetto = perfetto_from_documents(
+            trace_document=trace_to_dict(tracer, report),
+            tile_document=tile_profile_to_dict(report.tiles),
+        )
+        validate_perfetto(perfetto)
+        events = perfetto["traceEvents"]
+        superstep_ts = [e["ts"] for e in events if e["ph"] == "X" and e["tid"] == 1]
+        tile_ts = [e["ts"] for e in events if e["ph"] == "X" and e["tid"] == 2]
+        # Every tile slice starts exactly when some superstep slice starts.
+        starts = {round(ts, 6) for ts in superstep_ts}
+        assert all(round(ts, 6) in starts for ts in tile_ts)
 
 
 class TestGoldenTraceSchema:

@@ -63,6 +63,13 @@ class TestPercentileProperties:
 
 
 class TestPercentileEdges:
+    def test_interpolation_between_equal_values_is_exact(self):
+        # Regression: lo*(1-w) + hi*w rounded to -1.3750000000000002 here
+        # (just below the sample minimum); the lo + w*(hi-lo) form is
+        # exact when both neighbours are equal.
+        values = [0.0] * 11 + [-1.375, -1.375]
+        assert percentile(values, 1.5) == -1.375
+
     def test_unsorted_regression(self):
         # The historical bug: unsorted input returned the positional value.
         assert percentile([10.0, 0.0], 100) == 10.0

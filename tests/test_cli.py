@@ -254,6 +254,140 @@ class TestTraceCommand:
                      "--spans", "s.json"]) == 2  # spans need a live solve
 
 
+class TestProfileCommand:
+    def test_prints_tables_and_diagnostics(self, capsys):
+        assert main(["profile", "--size", "12", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compute set" in out
+        assert "% dev" in out
+        assert "bounded by" in out  # the critical-path verdict
+        assert "diagnostics" in out
+
+    def test_tiles_flag_prints_straggler_table(self, capsys):
+        assert main(["profile", "--size", "12", "--seed", "2", "--tiles"]) == 0
+        out = capsys.readouterr().out
+        assert "straggler supersteps" in out
+        assert "tile(s) used" in out
+
+    def test_tiles_json_embeds_valid_tile_document(self, capsys, tmp_path):
+        from repro.obs.export import validate_document
+
+        path = tmp_path / "prof.json"
+        assert main(["profile", "--size", "12", "--seed", "2",
+                     "--tiles", "--json", str(path)]) == 0
+        document = json.loads(path.read_text())
+        tile_document = document["tiles"]
+        assert validate_document(tile_document) == "repro.tile-profile/1"
+        # Per-tile compute cycles must re-sum to the aggregate profiler's
+        # charged total (the acceptance criterion's exactness check).
+        assert tile_document["compute_cycles"] == (
+            document["profile"]["compute_cycles"]
+        )
+        assert sum(
+            s["compute_cycles"] for s in tile_document["compute_sets"]
+        ) == pytest.approx(document["profile"]["compute_cycles"], rel=1e-12)
+
+    def test_heatmap_output_validates(self, capsys, tmp_path):
+        from repro.obs.export import validate_document
+
+        path = tmp_path / "heat.json"
+        assert main(["profile", "--size", "12", "--seed", "2",
+                     "--heatmap", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tile heatmap written" in out
+        document = json.loads(path.read_text())
+        assert validate_document(document) == "repro.tile-profile/1"
+        assert document["heatmap"]["cycles"]
+
+    def test_json_without_tiles_has_no_tile_document(self, capsys, tmp_path):
+        path = tmp_path / "prof.json"
+        assert main(["profile", "--size", "12", "--seed", "2",
+                     "--json", str(path)]) == 0
+        assert "tiles" not in json.loads(path.read_text())
+
+
+class TestPerfCommand:
+    def _record(self, store, extra=()):
+        return main(["perf", "record", "--store", str(store),
+                     "--rounds", "1", *extra])
+
+    def test_record_creates_valid_store(self, capsys, tmp_path):
+        from repro.obs.export import validate_document
+
+        store = tmp_path / "trends.json"
+        assert self._record(store) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        document = json.loads(store.read_text())
+        assert validate_document(document) == "repro.perf/1"
+        assert document["runs"]
+
+    def test_unchanged_compare_passes(self, capsys, tmp_path):
+        store = tmp_path / "trends.json"
+        assert self._record(store) == 0
+        assert main(["perf", "compare", "--store", str(store),
+                     "--rounds", "1"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails(self, capsys, tmp_path):
+        # The acceptance criterion: a synthetic 2x slowdown must exit
+        # non-zero while the unchanged re-run (above) passes.
+        store = tmp_path / "trends.json"
+        assert self._record(store) == 0
+        assert main(["perf", "compare", "--store", str(store),
+                     "--rounds", "1", "--inject-slowdown", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "REGRESSION" in out
+
+    def test_budget_ratio_widens_wall_bands(self, capsys, tmp_path):
+        store = tmp_path / "trends.json"
+        assert self._record(store) == 0
+        assert main(["perf", "compare", "--store", str(store), "--rounds", "1",
+                     "--inject-slowdown", "2", "--budget-ratio", "50"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_against_empty_store_passes(self, capsys, tmp_path):
+        store = tmp_path / "empty.json"
+        assert main(["perf", "compare", "--store", str(store),
+                     "--rounds", "1"]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_report_shows_trend(self, capsys, tmp_path):
+        store = tmp_path / "trends.json"
+        assert self._record(store) == 0
+        capsys.readouterr()
+        assert main(["perf", "report", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "solve/n16" in out
+        assert "run(s)" in out
+
+    def test_report_empty_store(self, capsys, tmp_path):
+        assert main(["perf", "report",
+                     "--store", str(tmp_path / "none.json")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_record_with_ingest(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps({
+            "schema": "repro.bench-run/1",
+            "experiment": "batch",
+            "scale": "quick",
+            "environment": {},
+            "records": [{
+                "experiment": "batch", "solver": "hunipu-batch",
+                "params": {"n": 16}, "device_time_s": 4e-4,
+                "wall_time_s": 0.06, "extra": {},
+            }],
+            "shape_notes": [],
+        }))
+        store = tmp_path / "trends.json"
+        assert self._record(store, ["--ingest", str(bench)]) == 0
+        document = json.loads(store.read_text())
+        names = [run["benchmark"] for run in document["runs"]]
+        assert "bench/batch/hunipu-batch" in names
+
+
 class TestStatsCommand:
     def test_prometheus_output(self, capsys):
         assert main(["stats", "--size", "8", "--format", "prom"]) == 0
