@@ -1,0 +1,59 @@
+"""Drifting-stream benchmark: warm-start re-solve vs cold per-tick solve.
+
+The report test writes two artifacts under ``benchmarks/results/``:
+
+* ``stream.txt`` — the human-readable table, via ``save_report``;
+* ``BENCH_stream.json`` — the schema-versioned ``repro.stream/1`` document
+  (written directly, *not* through ``save_bench_json``, which would emit a
+  ``repro.bench-run/1`` record under the same filename).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.stream import run_stream
+from repro.obs.export import validate_document, write_json
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_warm_resolve_latency(benchmark):
+    """Micro-benchmark: one warm re-solve after a 2-row drift."""
+    import numpy as np
+
+    from repro.core.solver import HunIPUSolver
+    from repro.lap.problem import LAPInstance
+
+    rng = np.random.default_rng(7)
+    solver = HunIPUSolver()
+    costs = rng.random((16, 16))
+    base = solver.solve(LAPInstance(costs.copy()), capture_warm_start=True)
+    seed = base.stats["warm_start"]
+    costs[rng.choice(16, size=2, replace=False)] = rng.random((2, 16))
+    drifted = LAPInstance(costs)
+
+    result = benchmark(lambda: solver.resolve(drifted, seed))
+    assert result.stats["resolve"]["mode"] == "warm"
+    assert result.stats["warm_start_used"] is True
+
+
+def test_report_stream(benchmark, scale, save_report):
+    result_doc = benchmark.pedantic(
+        run_stream, args=(scale,), rounds=1, iterations=1
+    )
+    result, document = result_doc
+    # The exactness notes are hard gates: every tick must be bit-identical
+    # to cold and scipy-optimal, and the warm program must pass the audit.
+    for note in result.shape_notes:
+        if "bit-identical" in note or "scipy-optimal" in note:
+            assert "(OK)" in note, note
+        if "constraint audit" in note:
+            assert note.endswith("pass"), note
+    assert document["totals"]["saved_fraction"] >= 0.30, document["totals"]
+    validate_document(document)
+    write_json(RESULTS_DIR / "BENCH_stream.json", document)
+    # Pass the formatted text, not the ExperimentResult: save_bench_json
+    # would also write a BENCH_stream.json (repro.bench-run/1) on top of
+    # the repro.stream/1 document just written.
+    save_report("stream", result.format())

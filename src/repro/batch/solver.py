@@ -81,7 +81,13 @@ def choose_target(
     if size in cached:
         return size
     counts = counts if counts is not None else {}
-    limit = size * pad_limit
+    # The float product can round *below* the exact rational limit (e.g.
+    # 20 * 1.15 == 22.999999999999996), silently rejecting a candidate that
+    # sits exactly at ``size * pad_limit``.  Nudge the threshold up by a
+    # relative epsilon so the boundary candidate stays admissible without
+    # ever letting a genuinely-above-limit integer through (the next
+    # integer is >= limit + 1, far beyond the nudge).
+    limit = size * pad_limit * (1.0 + 1e-12) + 1e-9
     candidates = sorted(cached | set(counts))
     own_count = counts.get(size, 0)
     for candidate in candidates:

@@ -11,6 +11,7 @@ from repro.bench.recording import (
     save_bench_json,
 )
 from repro.bench.serve import run_serve_bench
+from repro.bench.stream import run_stream, run_stream_bench
 from repro.bench.table1 import run_table1
 from repro.bench.table2 import run_table2
 from repro.bench.table3 import run_table3
@@ -27,6 +28,8 @@ __all__ = [
     "environment_summary",
     "save_bench_json",
     "run_serve_bench",
+    "run_stream",
+    "run_stream_bench",
     "run_table1",
     "run_table2",
     "run_table3",

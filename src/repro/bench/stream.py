@@ -1,0 +1,176 @@
+"""Drifting-cost stream benchmark — warm-start vs cold re-solve.
+
+Models the streaming workload the session cache serves: one instance that
+drifts a little every tick (``drift_rows`` random rows replaced), re-solved
+tick after tick.  Two solver chains run over the *same* stream:
+
+* **cold** — every tick is a from-scratch solve (the pre-warm-start
+  behaviour);
+* **warm** — every tick goes through
+  :meth:`~repro.core.solver.HunIPUSolver.resolve`, seeded from the previous
+  tick's duals and matching.
+
+Per tick the benchmark asserts the exactness contract: the warm total cost
+is **bit-identical** to the cold one and both match the scipy oracle; the
+compiled warm program is also run through the strict ``repro.check`` audit.
+The committed artifact (``benchmarks/results/BENCH_stream.json``) is the
+schema-versioned ``repro.stream/1`` document with per-tick superstep
+counts and the savings totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, format_grid
+from repro.bench.recording import BenchScale, RunRecord
+from repro.core.solver import HunIPUSolver
+from repro.lap.problem import LAPInstance
+from repro.obs.export import STREAM_SCHEMA
+
+__all__ = ["run_stream", "run_stream_bench"]
+
+#: (size, ticks, drift rows per tick) per scale.
+_GRID = {
+    "quick": (24, 12, 2),
+    "default": (64, 40, 3),
+    "paper": (128, 100, 4),
+}
+
+
+def _audit_warm_program(compiled) -> str:
+    """Strict C1–C4 check of the exact warm graph the stream ran on."""
+    from repro.check.checker import check_graph
+
+    report = check_graph(compiled.graph, compiled.warm_program, None)
+    report.raise_if_failed()
+    return "pass"
+
+
+def run_stream(
+    scale: BenchScale | None = None, *, seed: int = 0
+) -> tuple[ExperimentResult, dict]:
+    """Run the drifting stream; returns (report, ``repro.stream/1`` doc)."""
+    from scipy.optimize import linear_sum_assignment
+
+    scale = scale if scale is not None else BenchScale.from_env()
+    size, ticks, drift_rows = _GRID[scale.name]
+    rng = np.random.default_rng(seed)
+
+    cold_solver = HunIPUSolver()
+    warm_solver = HunIPUSolver()
+    costs = rng.random((size, size))
+    seed_state = None
+    rows: list[dict] = []
+    cold_device = 0.0
+    warm_device = 0.0
+    for tick in range(ticks):
+        if tick > 0:
+            drifted = rng.choice(size, size=drift_rows, replace=False)
+            costs[drifted] = rng.random((drift_rows, size))
+        instance = LAPInstance(costs.copy(), name=f"stream-t{tick}-n{size}")
+        cold = cold_solver.solve(instance)
+        warm = warm_solver.resolve(instance, seed_state)
+        seed_state = warm.stats.pop("warm_start")
+        ri, ci = linear_sum_assignment(instance.costs)
+        optimum = float(instance.costs[ri, ci].sum())
+        cold_steps = int(cold.stats["supersteps"])
+        warm_steps = int(warm.stats["supersteps"])
+        cold_device += cold.device_time_s or 0.0
+        warm_device += warm.device_time_s or 0.0
+        rows.append(
+            {
+                "tick": tick,
+                "mode": warm.stats["resolve"]["mode"],
+                "changed_rows": warm.stats["resolve"]["changed_rows"],
+                "cold_supersteps": cold_steps,
+                "warm_supersteps": warm_steps,
+                "saved": cold_steps - warm_steps,
+                "cold_cost": cold.total_cost,
+                "warm_cost": warm.total_cost,
+                "costs_equal": bool(warm.total_cost == cold.total_cost),
+                "scipy_optimal": bool(
+                    warm.total_cost == cold.total_cost
+                    and abs(warm.total_cost - optimum) <= 1e-9 + 1e-9 * abs(optimum)
+                ),
+            }
+        )
+
+    audit = _audit_warm_program(warm_solver.compiled_for(size))
+    cold_total = sum(r["cold_supersteps"] for r in rows)
+    warm_total = sum(r["warm_supersteps"] for r in rows)
+    saved_fraction = (cold_total - warm_total) / cold_total if cold_total else 0.0
+    document = {
+        "schema": STREAM_SCHEMA,
+        "meta": {
+            "size": size,
+            "ticks": ticks,
+            "drift_rows": drift_rows,
+            "seed": seed,
+            "scale": scale.name,
+            "dtype": "float64",
+            "audit": audit,
+        },
+        "ticks": rows,
+        "totals": {
+            "cold_supersteps": cold_total,
+            "warm_supersteps": warm_total,
+            "supersteps_saved": cold_total - warm_total,
+            "saved_fraction": saved_fraction,
+            "cold_device_s": cold_device,
+            "warm_device_s": warm_device,
+            "warm_ticks": sum(1 for r in rows if r["mode"] == "warm"),
+            "all_costs_equal": all(r["costs_equal"] for r in rows),
+            "all_scipy_optimal": all(r["scipy_optimal"] for r in rows),
+        },
+    }
+
+    records = tuple(
+        RunRecord(
+            "stream",
+            mode,
+            {"size": size, "ticks": ticks, "drift_rows": drift_rows},
+            device,
+            0.0,
+            extra={"supersteps": steps},
+        )
+        for mode, device, steps in (
+            ("cold", cold_device, cold_total),
+            ("warm", warm_device, warm_total),
+        )
+    )
+    columns = ["supersteps", "device ms", "saved %"]
+    cells = {
+        ("cold", "supersteps"): cold_total,
+        ("cold", "device ms"): cold_device * 1e3,
+        ("cold", "saved %"): 0.0,
+        ("warm", "supersteps"): warm_total,
+        ("warm", "device ms"): warm_device * 1e3,
+        ("warm", "saved %"): saved_fraction * 100.0,
+    }
+    table = format_grid(
+        f"Drifting stream: n={size}, {ticks} ticks, {drift_rows} rows "
+        f"re-drawn per tick (seed {seed})",
+        ["cold", "warm"],
+        columns,
+        cells,
+        row_header="chain",
+    )
+    notes = (
+        f"supersteps saved {saved_fraction:.1%} vs cold "
+        f"({'OK' if saved_fraction >= 0.30 else 'CHECK'} vs the >=30% target)",
+        f"warm total cost bit-identical to cold on all {ticks} ticks "
+        f"({'OK' if document['totals']['all_costs_equal'] else 'CHECK'})",
+        f"all ticks scipy-optimal "
+        f"({'OK' if document['totals']['all_scipy_optimal'] else 'CHECK'})",
+        f"warm program strict constraint audit: {audit}",
+    )
+    return ExperimentResult("stream", scale.name, records, (table,), notes), document
+
+
+def run_stream_bench(
+    scale: BenchScale | None = None, *, seed: int = 0
+) -> ExperimentResult:
+    """CLI/report entry point (drops the raw document)."""
+    result, _ = run_stream(scale, seed=seed)
+    return result

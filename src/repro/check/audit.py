@@ -80,6 +80,17 @@ def audit_solver(
                     check_graph(compiled.graph, compiled.program, config),
                 )
             )
+            # The warm-start program shares the graph but adds the seed
+            # subtraction and pre-star compute sets — audit it as its own
+            # program tree so the warm path holds C1–C4 too.
+            warm_label = f"{label} warm"
+            logger.info("checking %s", warm_label)
+            entries.append(
+                AuditEntry(
+                    warm_label,
+                    check_graph(compiled.graph, compiled.warm_program, config),
+                )
+            )
     if include_batch and sizes:
         base = max(min(sizes), 4)
         solver = HunIPUSolver(spec, dtype)

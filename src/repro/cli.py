@@ -70,7 +70,8 @@ __all__ = ["main", "build_parser"]
 logger = logging.getLogger(__name__)
 
 _EXPERIMENTS = (
-    "table1", "table2", "figure5", "table3", "ablations", "batch", "serve"
+    "table1", "table2", "figure5", "table3", "ablations", "batch", "serve",
+    "stream",
 )
 _SOLVERS = ("hunipu", "cpu", "fastha", "date-nagi", "lapjv", "scipy")
 _LOG_LEVELS = ("debug", "info", "warning", "error")
@@ -385,6 +386,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="re-check every completed response against the scipy optimum",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        nargs="?",
+        const=256,
+        metavar="CAPACITY",
+        help="enable the warm-start session cache (LRU capacity; "
+        "default 256 when the flag is given bare)",
+    )
+    serve.add_argument(
+        "--session-streams",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route every other workload item through one of N drifting-"
+        "cost sessions (requires --sessions)",
+    )
+    serve.add_argument(
+        "--session-drift-rows",
+        type=int,
+        default=2,
+        metavar="K",
+        help="rows re-drawn per session visit (with --session-streams)",
     )
     serve.add_argument(
         "--expect-fallbacks",
@@ -932,6 +958,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_batch_bench,
         run_figure5,
         run_serve_bench,
+        run_stream_bench,
         run_table1,
         run_table2,
         run_table3,
@@ -952,6 +979,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "ablations": lambda: run_ablations(scale),
         "batch": lambda: run_batch_bench(scale),
         "serve": lambda: run_serve_bench(scale),
+        "stream": lambda: run_stream_bench(scale),
     }
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     written: list[pathlib.Path] = []
@@ -1037,6 +1065,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.obs.metrics import MetricsRegistry
     from repro.serve import (
+        SessionStore,
         SolverService,
         WarmEnginePool,
         flaky_factory,
@@ -1061,6 +1090,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.sessions is not None and args.sessions < 1:
+        print("error: --sessions capacity must be >= 1", file=sys.stderr)
+        return 2
+    if args.session_streams > 0 and args.sessions is None:
+        print(
+            "error: --session-streams needs --sessions to enable the "
+            "warm-start cache",
+            file=sys.stderr,
+        )
+        return 2
 
     shapes = tuple(args.shapes) if args.shapes else DEFAULT_SHAPES
     metrics = MetricsRegistry()
@@ -1076,6 +1115,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pool = WarmEnginePool(factory, **pool_kwargs)
     if not args.no_warm:
         pool.warm(sorted(set(shapes)))
+    sessions = (
+        SessionStore(capacity=args.sessions, metrics=metrics)
+        if args.sessions is not None
+        else None
+    )
     service = SolverService(
         workers=args.workers,
         queue_capacity=args.queue_capacity,
@@ -1083,6 +1127,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool=pool,
         metrics=metrics,
         spans=spans,
+        sessions=sessions,
     )
     serve_meta = {
         "seed": args.seed, "mode": args.mode, "shapes": sorted(set(shapes))
@@ -1105,7 +1150,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         writer.start()
     try:
-        workload = generate_workload(args.requests, seed=args.seed, shapes=shapes)
+        workload = generate_workload(
+            args.requests,
+            seed=args.seed,
+            shapes=shapes,
+            session_streams=args.session_streams,
+            session_drift_rows=args.session_drift_rows,
+        )
         report = run_load(
             service,
             workload,
@@ -1145,6 +1196,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"warm pool     : {pool_stats['hits']} hits, "
         f"{pool_stats['misses']} misses, {pool_stats['evictions']} evictions"
     )
+    if "sessions" in document:
+        session_stats = document["sessions"]
+        print(
+            f"sessions      : {session_stats['sessions']} live, "
+            f"{session_stats['hits']} hits / {session_stats['misses']} misses, "
+            f"{session_stats['warm_solves']} warm solves, "
+            f"{session_stats['supersteps_saved']} supersteps saved"
+        )
     if args.verify:
         verdict = "all optimal" if report.verify_failures == 0 else (
             f"{report.verify_failures} MISMATCH(ES)"

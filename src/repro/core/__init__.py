@@ -4,10 +4,13 @@ from repro.core.compression import compress_rows_host, segment_bounds
 from repro.core.mapping_plan import COL_SEGMENT_SIZE, MappingPlan
 from repro.core.solver import CompiledInstance, HunIPUSolver
 from repro.core.state import SolverState
+from repro.core.warmstart import WarmStart, changed_rows
 
 __all__ = [
     "HunIPUSolver",
     "CompiledInstance",
+    "WarmStart",
+    "changed_rows",
     "SolverState",
     "MappingPlan",
     "COL_SEGMENT_SIZE",

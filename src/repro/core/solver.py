@@ -32,8 +32,10 @@ from repro.core.compression import build_compress
 from repro.core.mapping_plan import MappingPlan
 from repro.core.state import SolverState
 from repro.core.steps import (
+    build_prestar,
     build_prime_update,
     build_search_reset,
+    build_seed_subtract,
     build_step1,
     build_step2,
     build_step3,
@@ -41,6 +43,7 @@ from repro.core.steps import (
     build_step5,
     build_step6,
 )
+from repro.core.warmstart import WarmStart, changed_rows
 from repro.errors import SolverError
 from repro.ipu.engine import Engine
 from repro.ipu.graph import ComputeGraph
@@ -53,7 +56,7 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.timing import wall_timer
 from repro.obs.trace import NULL_TRACER, NullTracer
 
-__all__ = ["HunIPUSolver", "CompiledInstance", "normalize_costs"]
+__all__ = ["HunIPUSolver", "CompiledInstance", "WarmStart", "normalize_costs"]
 
 logger = logging.getLogger(__name__)
 
@@ -137,6 +140,28 @@ class CompiledInstance:
         )
         self.program = Sequence(step1, compress, step2, main)
         self.engine = Engine(self.graph, self.program, mode=engine_mode)
+
+        # Warm path: subtract the seeded potentials, let Step 1 repair the
+        # reduction (exact no-op on a tight seed), then pre-star the
+        # still-feasible previous matching before the τ-sweep.  Shares
+        # every tensor and step sub-program with the cold path; its engine
+        # is compiled lazily so cold-only users never pay for it.
+        self._engine_mode: Literal["batched", "per_tile"] = engine_mode
+        seed_subtract = build_seed_subtract(self.graph, state, plan)
+        prestar = build_prestar(self.graph, state, plan)
+        self.warm_program = Sequence(
+            seed_subtract, step1, compress, prestar, step2, main
+        )
+        self._warm_engine: Engine | None = None
+
+    @property
+    def warm_engine(self) -> Engine:
+        """The warm-start engine (compiled on first use)."""
+        if self._warm_engine is None:
+            self._warm_engine = Engine(
+                self.graph, self.warm_program, mode=self._engine_mode
+            )
+        return self._warm_engine
 
     def memory_report(self) -> dict[str, float]:
         """Tile-memory usage of the compiled instance (C2 visibility).
@@ -256,7 +281,12 @@ class HunIPUSolver:
         return instance
 
     def solve(
-        self, instance: LAPInstance, *, return_slack: bool = False
+        self,
+        instance: LAPInstance,
+        *,
+        return_slack: bool = False,
+        warm_start: WarmStart | None = None,
+        capture_warm_start: bool = False,
     ) -> AssignmentResult:
         """Solve ``instance`` on the simulated IPU.
 
@@ -265,12 +295,33 @@ class HunIPUSolver:
         ``return_slack=True`` the terminal slack matrix (rescaled back to
         the instance's units) is included under ``stats["final_slack"]``
         for dual-certificate checking.
+
+        A ``warm_start`` seed (see :mod:`repro.core.warmstart`) routes the
+        solve through the seeded program: potentials are subtracted before
+        Step 1's repair pass and the previous matching is pre-starred, so
+        a near-identical instance converges in far fewer supersteps while
+        the optimality certificate is unchanged.  ``capture_warm_start``
+        attaches the seed for the *next* solve under
+        ``stats["warm_start"]``.
         """
         with wall_timer() as timer:
             compiled = self.compiled_for(instance.size)
-            normalized, _, scale = normalize_costs(instance.costs)
+            normalized, shift, scale = normalize_costs(instance.costs)
             compiled.state.initialize_host(normalized)
-            report = self._run_engine(compiled, instance)
+            if warm_start is not None:
+                warm_start.validate(instance.size)
+                # Map instance-unit potentials onto the normalized costs:
+                # u' + v' must equal (u + v - shift) / scale so the seeded
+                # slack matches (C - u - v) / scale on unchanged entries.
+                compiled.state.load_seed(
+                    (warm_start.row_potential - shift) / scale,
+                    warm_start.col_potential / scale,
+                    warm_start.row_star,
+                )
+                self.metrics.counter(
+                    "solver.warm_solves", "solves seeded from a warm start"
+                ).inc()
+            report = self._run_engine(compiled, instance, warm=warm_start is not None)
         result = self._build_result(
             compiled,
             instance,
@@ -278,6 +329,8 @@ class HunIPUSolver:
             scale,
             timer.seconds,
             return_slack=return_slack,
+            warm=warm_start is not None,
+            capture_warm_start=capture_warm_start,
         )
         stats = result.stats
         self.metrics.counter("solver.solves", "HunIPU solves completed").inc()
@@ -301,18 +354,71 @@ class HunIPUSolver:
         )
         return result
 
+    def resolve(
+        self,
+        instance: LAPInstance,
+        prev: WarmStart | None,
+        *,
+        max_changed_fraction: float = 0.5,
+        return_slack: bool = False,
+    ) -> AssignmentResult:
+        """Incrementally re-solve a drifted instance from a previous seed.
+
+        The changed-row set is computed host-side against the seed's
+        costs; when the drift is small the seeded program only has to
+        re-match the invalidated rows.  Falls back to a cold solve when
+        the seed is missing, shape-incompatible, or more than
+        ``max_changed_fraction`` of the rows changed (a large delta makes
+        the stale potentials worthless and the repair pass pure overhead).
+
+        The returned result always carries ``stats["warm_start"]`` — the
+        seed for the next call — and ``stats["resolve"]`` describing the
+        routing decision.  Warm or cold, the result is certified exactly
+        like any other solve (perfect matching on a valid reduction).
+        """
+        reason = None
+        changed = None
+        if prev is None:
+            reason = "no_seed"
+        elif prev.size != instance.size:
+            reason = "size_mismatch"
+        else:
+            changed = changed_rows(prev.costs, instance.costs)
+            if len(changed) > max_changed_fraction * instance.size:
+                reason = "delta_too_large"
+        warm = reason is None
+        result = self.solve(
+            instance,
+            return_slack=return_slack,
+            warm_start=prev if warm else None,
+            capture_warm_start=True,
+        )
+        if not warm:
+            self.metrics.counter(
+                "solver.resolve_cold_fallbacks",
+                "resolve() calls routed to a cold solve",
+            ).inc()
+        result.stats["resolve"] = {
+            "mode": "warm" if warm else "cold",
+            "reason": reason,
+            "changed_rows": None if changed is None else int(len(changed)),
+        }
+        return result
+
     def _run_engine(
         self,
         compiled: CompiledInstance,
         instance: LAPInstance,
         *,
         profile_detail: bool = True,
+        warm: bool = False,
     ):
         """Run the compiled program once (state must already be loaded).
 
         ``profile_detail=False`` requests aggregate-only profiling (see
         :meth:`repro.ipu.engine.Engine.run`) — the batch path's throughput
-        mode; tracing still forces a detailed run.
+        mode; tracing still forces a detailed run.  ``warm=True`` runs the
+        seeded program instead of the cold one.
         """
         if self.tracer.enabled:
             self.tracer.event(
@@ -322,8 +428,10 @@ class HunIPUSolver:
                 instance=instance.name,
                 dtype=str(self.dtype),
                 engine_mode=self.engine_mode,
+                warm=warm,
             )
-        return compiled.engine.run(
+        engine = compiled.warm_engine if warm else compiled.engine
+        return engine.run(
             tracer=self.tracer,
             metrics=self._engine_metrics,
             profile_detail=profile_detail,
@@ -340,6 +448,8 @@ class HunIPUSolver:
         *,
         return_slack: bool = False,
         detailed_stats: bool = True,
+        warm: bool = False,
+        capture_warm_start: bool = False,
     ) -> AssignmentResult:
         """Read back device state and package an :class:`AssignmentResult`.
 
@@ -386,8 +496,15 @@ class HunIPUSolver:
                     "step6",
                 )
             }
-        if return_slack:
-            stats["final_slack"] = state.slack.read_host().astype(np.float64) * scale
+        stats["warm_start_used"] = warm
+        if return_slack or capture_warm_start:
+            final_slack = state.slack.read_host().astype(np.float64) * scale
+            if return_slack:
+                stats["final_slack"] = final_slack
+            if capture_warm_start:
+                stats["warm_start"] = WarmStart.from_solution(
+                    instance.costs, final_slack, assignment
+                )
         return AssignmentResult(
             assignment=assignment,
             total_cost=instance.total_cost(assignment),

@@ -14,6 +14,9 @@ row_zeros           (n,) int32                    row blocks
 row_star/prime/...  (n,) int32                    row blocks
 col_star, col_cover (n,) int32                    32-element segments (§IV-E)
 green_rows/cols     (n+1,) int32                  tile 0 (path trace, §IV-G)
+row_potential       (n,) float                    1D row blocks (warm-start)
+col_potential       (n,) float                    tile 0 (warm-start)
+seed_star/cand      (n,) int32                    1D row blocks (warm-start)
 scalars             (1,) int32/float              tile 0
 ==================  ============================  ===========================
 
@@ -56,6 +59,12 @@ class SolverState:
 
     col_star: Tensor
     col_cover: Tensor
+
+    # Warm-start seed (zero / −1 on cold solves; see repro.core.warmstart).
+    row_potential: Tensor
+    col_potential: Tensor
+    seed_star: Tensor
+    seed_cand: Tensor
 
     green_rows: Tensor
     green_cols: Tensor
@@ -142,6 +151,17 @@ class SolverState:
             zero_col=row_vec("zero_col"),
             col_star=col_vec("col_star"),
             col_cover=col_vec("col_cover"),
+            row_potential=graph.add_tensor(
+                "warm/row_potential", (n,), dtype, mapping=row_map
+            ),
+            col_potential=graph.add_tensor(
+                "warm/col_potential",
+                (n,),
+                dtype,
+                mapping=TileMapping.single_tile(n),
+            ),
+            seed_star=row_vec("warm/seed_star"),
+            seed_cand=row_vec("warm/seed_cand"),
             green_rows=on_tile0("green_rows", n + 1),
             green_cols=on_tile0("green_cols", n + 1),
             path_state=on_tile0("path_state", 4),
@@ -186,6 +206,21 @@ class SolverState:
         """
         np.copyto(self.slack.data, costs, casting="same_kind")
 
+    def load_seed(
+        self,
+        row_potential: np.ndarray,
+        col_potential: np.ndarray,
+        row_star: np.ndarray,
+    ) -> None:
+        """Upload a warm-start seed (call after :meth:`reset`).
+
+        Potentials arrive already mapped into the current instance's
+        normalized units; the previous matching is clipped to int32.
+        """
+        np.copyto(self.row_potential.data, row_potential, casting="same_kind")
+        np.copyto(self.col_potential.data, col_potential, casting="same_kind")
+        self.seed_star.data[...] = np.asarray(row_star, dtype=np.int32)
+
     def reset(self) -> None:
         """Reset every non-slack tensor to its pre-Step-1 value.
 
@@ -194,6 +229,10 @@ class SolverState:
         compiled instance cheap (the batch path calls this once per solve).
         """
         self.compress.data.fill(-1)
+        self.row_potential.data.fill(0)
+        self.col_potential.data.fill(0)
+        self.seed_star.data.fill(-1)
+        self.seed_cand.data.fill(-1)
         self.zero_count.data.fill(0)
         self.row_zeros.data.fill(0)
         self.row_star.data.fill(-1)

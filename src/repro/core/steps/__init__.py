@@ -6,8 +6,11 @@ from repro.core.steps.step3_completion import build_search_reset, build_step3
 from repro.core.steps.step4_prime_search import build_prime_update, build_step4
 from repro.core.steps.step5_augment import build_step5
 from repro.core.steps.step6_slack_update import build_step6
+from repro.core.steps.warm_seed import build_prestar, build_seed_subtract
 
 __all__ = [
+    "build_prestar",
+    "build_seed_subtract",
     "build_step1",
     "build_step2",
     "build_step3",

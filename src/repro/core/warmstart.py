@@ -1,0 +1,107 @@
+"""Dual warm-starts for repeated solves on drifting instances.
+
+Production assignment traffic (tracking, matching markets, repeated graph
+alignment) re-solves near-identical matrices.  Every operation the six-step
+loop applies to the slack matrix is a row or column subtraction, so the
+terminal reduction ``R = C - S_final`` decomposes *exactly* as
+``R[i, j] = u[i] + v[j]`` — the classic dual potentials, recoverable from
+the first row and column without ever materializing them on device:
+
+    v[j] = R[0, j]          (absorbs u[0])
+    u[i] = R[i, 0] - R[0, 0]
+
+A :class:`WarmStart` carries those potentials (in the *instance's* cost
+units), the previous starred matching, and the previous costs (for the
+changed-row delta).  Seeding a solve subtracts the potentials instead of
+starting from raw costs; the standard Step-1 row/column-minimum pass then
+runs as a *repair* step — an exact no-op when the seed is still tight, and
+a guarantee that the seeded slack is non-negative when it is not (any
+potentials, even stale garbage, therefore yield a valid reduction: the
+warm path changes the starting point, never the algorithm's invariants).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SolverError
+
+__all__ = ["WarmStart", "changed_rows"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmStart:
+    """A seed for the next solve, recovered from a finished one.
+
+    All arrays are host-side and expressed in the originating instance's
+    cost units; :meth:`repro.core.solver.HunIPUSolver.solve` maps them into
+    the current instance's normalized units at seed time.
+    """
+
+    #: Row potentials ``u`` (shape ``(n,)``, float64).
+    row_potential: np.ndarray
+    #: Column potentials ``v`` (shape ``(n,)``, float64).
+    col_potential: np.ndarray
+    #: Previous optimal matching: ``row_star[i]`` is row *i*'s column.
+    row_star: np.ndarray
+    #: Costs the seed was recovered from (drives the changed-row delta).
+    costs: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.row_potential.shape[0])
+
+    @classmethod
+    def from_solution(
+        cls,
+        costs: np.ndarray,
+        final_slack: np.ndarray,
+        assignment: np.ndarray,
+    ) -> "WarmStart":
+        """Recover the dual potentials from a solve's terminal slack."""
+        reduction = np.asarray(costs, dtype=np.float64) - np.asarray(
+            final_slack, dtype=np.float64
+        )
+        col_potential = reduction[0, :].copy()
+        row_potential = reduction[:, 0] - reduction[0, 0]
+        return cls(
+            row_potential=row_potential,
+            col_potential=col_potential,
+            row_star=np.asarray(assignment, dtype=np.int64).copy(),
+            costs=np.asarray(costs, dtype=np.float64).copy(),
+        )
+
+    def validate(self, size: int) -> None:
+        """Reject shape-incompatible seeds (values may be arbitrarily stale)."""
+        if self.row_potential.shape != (size,) or self.col_potential.shape != (
+            size,
+        ):
+            raise SolverError(
+                f"warm-start potentials shaped {self.row_potential.shape}/"
+                f"{self.col_potential.shape}; expected ({size},)"
+            )
+        if self.row_star.shape != (size,):
+            raise SolverError(
+                f"warm-start matching shaped {self.row_star.shape}; "
+                f"expected ({size},)"
+            )
+        if not (
+            np.all(self.row_star >= -1) and np.all(self.row_star < size)
+        ):
+            raise SolverError("warm-start matching has out-of-range columns")
+        if not (
+            np.all(np.isfinite(self.row_potential))
+            and np.all(np.isfinite(self.col_potential))
+        ):
+            raise SolverError("warm-start potentials must be finite")
+
+
+def changed_rows(previous: np.ndarray, current: np.ndarray) -> np.ndarray:
+    """Indices of rows whose costs differ between two same-shape matrices."""
+    if previous.shape != current.shape:
+        raise SolverError(
+            f"cost shapes differ: {previous.shape} vs {current.shape}"
+        )
+    return np.flatnonzero(np.any(previous != current, axis=1))

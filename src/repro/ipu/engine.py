@@ -97,6 +97,7 @@ class Engine:
         self._profiler: Profiler | None = None
         self._tracer: NullTracer = NULL_TRACER
         self._metrics: MetricsRegistry | None = None
+        self._running = False
 
     # ------------------------------------------------------------------
     # Host data movement (charged as host I/O)
@@ -146,6 +147,17 @@ class Engine:
         imbalance time series, per-tensor exchange bytes).  All three
         depths produce bit-identical run totals.
         """
+        if self._running:
+            # A second run() while one is in flight (another thread, or a
+            # callback re-entering the engine) would silently cross-wire
+            # the in-flight run's profiler/tracer/metrics state — and the
+            # finally-block below would then null them out from under the
+            # first run.  Engines hold mutable device state; concurrency
+            # wants one engine per thread (the warm pool's lease model).
+            raise ExecutionError(
+                "engine is not reentrant; lease one engine per thread"
+            )
+        self._running = True
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics
         if profile_tiles:
@@ -178,6 +190,7 @@ class Engine:
             self._profiler = None
             self._tracer = NULL_TRACER
             self._metrics = None
+            self._running = False
 
     def _run_program(self, program: Program) -> None:
         if isinstance(program, Sequence):

@@ -63,6 +63,8 @@ __all__ = [
     "SERVE_SCHEMA",
     "TILE_SCHEMA",
     "PERF_SCHEMA",
+    "STREAM_SCHEMA",
+    "validate_stream_document",
     "to_jsonable",
     "profile_report_to_dict",
     "profile_report_from_dict",
@@ -100,6 +102,7 @@ SPANS_SCHEMA = "repro.spans/1"
 GOLDEN_SCHEMA = "repro.golden-trace/1"
 TILE_SCHEMA = "repro.tile-profile/1"
 PERF_SCHEMA = "repro.perf/1"
+STREAM_SCHEMA = "repro.stream/1"
 
 
 class SchemaError(ValueError):
@@ -801,6 +804,114 @@ def validate_serve_stats(document: Mapping[str, Any]) -> None:
         document["fallbacks"], ("engine_error", "deadline", "retries"),
         "serve.fallbacks",
     )
+    # Optional session-cache block (present when the service ran with a
+    # SessionStore); lookups must be fully accounted for.
+    if "sessions" in document:
+        sessions = document["sessions"]
+        _require_keys(
+            sessions,
+            ("capacity", "sessions", "hits", "misses", "warm_solves",
+             "supersteps_saved"),
+            "serve.sessions",
+        )
+        _require(
+            int(sessions["warm_solves"]) <= int(sessions["hits"]),
+            "serve.sessions.warm_solves",
+            "more warm solves than seed hits",
+        )
+
+
+def validate_stream_document(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.stream/1`` document.
+
+    The drifting-cost stream benchmark's export: per-tick warm-vs-cold
+    superstep counts and exactness checks, plus totals.  Beyond key
+    presence this enforces the claims the document exists to make — the
+    totals really are the per-tick sums, the saved fraction is consistent,
+    and every tick's warm result matched the cold optimal cost exactly.
+    """
+    _require_keys(document, ("schema", "meta", "ticks", "totals"), "stream")
+    _require(
+        document["schema"] == STREAM_SCHEMA,
+        "stream.schema",
+        f"expected {STREAM_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require_keys(
+        document["meta"],
+        ("size", "ticks", "drift_rows", "seed", "scale", "audit"),
+        "stream.meta",
+    )
+    ticks = document["ticks"]
+    _require(
+        isinstance(ticks, list) and len(ticks) > 0,
+        "stream.ticks",
+        "expected a non-empty list",
+    )
+    cold_total = 0
+    warm_total = 0
+    for index, tick in enumerate(ticks):
+        path = f"stream.ticks[{index}]"
+        _require_keys(
+            tick,
+            ("tick", "mode", "changed_rows", "cold_supersteps",
+             "warm_supersteps", "saved", "costs_equal", "scipy_optimal"),
+            path,
+        )
+        _require(
+            tick["mode"] in ("warm", "cold"),
+            f"{path}.mode",
+            f"expected 'warm' or 'cold', got {tick['mode']!r}",
+        )
+        for key in ("cold_supersteps", "warm_supersteps"):
+            _require(
+                isinstance(tick[key], int) and tick[key] > 0,
+                f"{path}.{key}",
+                f"expected a positive integer, got {tick[key]!r}",
+            )
+        _require(
+            int(tick["saved"])
+            == int(tick["cold_supersteps"]) - int(tick["warm_supersteps"]),
+            f"{path}.saved",
+            "saved != cold_supersteps - warm_supersteps",
+        )
+        _require(
+            tick["costs_equal"] is True,
+            f"{path}.costs_equal",
+            "warm result not bit-identical to the cold optimal cost",
+        )
+        _require(
+            tick["scipy_optimal"] is True,
+            f"{path}.scipy_optimal",
+            "tick result disagreed with the scipy oracle",
+        )
+        cold_total += int(tick["cold_supersteps"])
+        warm_total += int(tick["warm_supersteps"])
+    totals = document["totals"]
+    _require_keys(
+        totals,
+        ("cold_supersteps", "warm_supersteps", "supersteps_saved",
+         "saved_fraction"),
+        "stream.totals",
+    )
+    _require(
+        int(totals["cold_supersteps"]) == cold_total
+        and int(totals["warm_supersteps"]) == warm_total,
+        "stream.totals",
+        "totals disagree with the per-tick sums",
+    )
+    _require(
+        int(totals["supersteps_saved"]) == cold_total - warm_total,
+        "stream.totals.supersteps_saved",
+        "supersteps_saved != cold - warm",
+    )
+    expected_fraction = (
+        (cold_total - warm_total) / cold_total if cold_total else 0.0
+    )
+    _require(
+        abs(float(totals["saved_fraction"]) - expected_fraction) < 1e-9,
+        "stream.totals.saved_fraction",
+        f"saved_fraction inconsistent (expected {expected_fraction})",
+    )
 
 
 def validate_spans(document: Mapping[str, Any]) -> None:
@@ -1082,6 +1193,7 @@ _VALIDATORS = {
     GOLDEN_SCHEMA: validate_golden_trace,
     TILE_SCHEMA: validate_tile_profile,
     PERF_SCHEMA: validate_perf_document,
+    STREAM_SCHEMA: validate_stream_document,
 }
 
 

@@ -157,6 +157,8 @@ DEFAULT_BUDGETS: dict[str, Budget] = {
     "wall_per_instance_s": Budget("wall"),
     "device_seconds": Budget("model"),
     "supersteps": Budget("exact"),
+    "cold_supersteps": Budget("exact"),
+    "supersteps_saved_ratio": Budget("model"),
     "instances_per_second": Budget("throughput"),
 }
 
@@ -304,6 +306,34 @@ def run_suite(
 
         tasks[f"solve/n{size}"] = _solve_round
 
+    # Warm-start leg: re-solve a 2-row drift of the largest single-solve
+    # shape from the previous solution's duals.  Superstep counts (warm
+    # and cold) are deterministic, so the warm-vs-cold savings gate
+    # exactly — a change that erodes the warm path's advantage fails the
+    # compare rather than slipping through as noise.
+    warm_size = max(shapes["solve_sizes"])
+    warm_base = uniform_instance(warm_size, 1, seed=seed + 50)
+    warm_seed_state = solver.solve(
+        warm_base, capture_warm_start=True
+    ).stats["warm_start"]
+    drift_costs = warm_base.costs.copy()
+    drift_source = uniform_instance(warm_size, 1, seed=seed + 51).costs
+    drift_costs[:2] = drift_source[:2]
+    from repro.lap.problem import LAPInstance
+
+    warm_drifted = LAPInstance(drift_costs, name=f"perf-warm-n{warm_size}")
+    warm_cold_result = HunIPUSolver().solve(warm_drifted)
+    warm_key = f"resolve/n{warm_size}"
+
+    def _warm_round() -> float:
+        with wall_timer() as timer:
+            results[warm_key] = solver.solve(
+                warm_drifted, warm_start=warm_seed_state
+            )
+        return timer.seconds
+
+    tasks[warm_key] = _warm_round
+
     batch_size, batch_count = shapes["batch"]
     batch_path = BatchSolver(HunIPUSolver())
     batch_path.solver.compiled_for(batch_size)
@@ -335,6 +365,23 @@ def run_suite(
                 "context": context,
             }
         )
+    warm_result = results[warm_key]
+    warm_steps = int(warm_result.stats["supersteps"])
+    cold_steps = int(warm_cold_result.stats["supersteps"])
+    runs.append(
+        {
+            "benchmark": warm_key,
+            "params": {"n": warm_size, "drift_rows": 2, "seed": seed},
+            "metrics": {
+                "wall_seconds": timings[warm_key].best,
+                "device_seconds": warm_result.device_time_s,
+                "supersteps": warm_steps,
+                "cold_supersteps": cold_steps,
+                "supersteps_saved_ratio": (cold_steps - warm_steps) / cold_steps,
+            },
+            "context": context,
+        }
+    )
     batch_key = f"batch/n{batch_size}x{batch_count}"
     batch = results["batch"]
     wall = timings[batch_key].best

@@ -38,6 +38,7 @@ from repro.serve.request import (
 )
 from repro.serve.router import LatencyEstimator, RoutePlan, Router
 from repro.serve.service import SolverService
+from repro.serve.sessions import SessionStore
 from repro.serve.stats import latency_summary, percentile
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "RequestSpans",
     "RoutePlan",
     "Router",
+    "SessionStore",
     "SolveRequest",
     "SolveResponse",
     "SolverService",

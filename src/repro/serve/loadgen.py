@@ -56,6 +56,8 @@ class WorkItem:
     instance: LAPInstance
     tier: str
     deadline_s: float | None
+    #: Session id for drifting-stream traffic (None = independent request).
+    session_id: str | None = None
 
 
 def generate_workload(
@@ -66,9 +68,23 @@ def generate_workload(
     tier_weights: dict[str, float] | None = None,
     deadlines: Sequence[tuple[float | None, float]] = DEFAULT_DEADLINES,
     cost_scale: float = 100.0,
+    session_streams: int = 0,
+    session_drift_rows: int = 2,
 ) -> list[WorkItem]:
-    """A seeded list of :class:`WorkItem`\\ s (same seed → same workload)."""
+    """A seeded list of :class:`WorkItem`\\ s (same seed → same workload).
+
+    With ``session_streams > 0``, every other item belongs to one of that
+    many drifting-cost sessions: each session keeps a base matrix and
+    perturbs ``session_drift_rows`` random rows per visit, submitting under
+    a stable ``session_id`` on the engine tier — the traffic shape the
+    warm-start session cache is built for.
+    """
     rng = np.random.default_rng(seed)
+    session_bases: list[np.ndarray] = []
+    if session_streams > 0:
+        for _ in range(session_streams):
+            size = int(rng.choice(np.asarray(shapes)))
+            session_bases.append(rng.random((size, size)) * cost_scale)
     weights = tier_weights if tier_weights is not None else DEFAULT_TIER_WEIGHTS
     tiers = list(weights)
     tier_p = np.asarray([weights[t] for t in tiers], dtype=np.float64)
@@ -78,6 +94,24 @@ def generate_workload(
     deadline_p = deadline_p / deadline_p.sum()
     items: list[WorkItem] = []
     for index in range(count):
+        if session_streams > 0 and index % 2 == 0:
+            stream = (index // 2) % session_streams
+            base = session_bases[stream]
+            size = base.shape[0]
+            drift = min(session_drift_rows, size)
+            rows = rng.choice(size, size=drift, replace=False)
+            base[rows] = rng.random((drift, size)) * cost_scale
+            items.append(
+                WorkItem(
+                    instance=LAPInstance(
+                        base.copy(), name=f"load-{index}-sess{stream}-n{size}"
+                    ),
+                    tier="ipu",
+                    deadline_s=None,
+                    session_id=f"sess-{stream}",
+                )
+            )
+            continue
         size = int(rng.choice(np.asarray(shapes)))
         costs = rng.random((size, size)) * cost_scale
         items.append(
@@ -196,7 +230,10 @@ def run_load(
                     cursor["next"] = index + 1
                 item = workload[index]
                 ticket = service.submit(
-                    item.instance, tier=item.tier, deadline_s=item.deadline_s
+                    item.instance,
+                    tier=item.tier,
+                    deadline_s=item.deadline_s,
+                    session_id=item.session_id,
                 )
                 responses[index] = ticket.response(response_timeout)
 
@@ -218,7 +255,10 @@ def run_load(
                 sleep(delay)
             tickets.append(
                 service.submit(
-                    item.instance, tier=item.tier, deadline_s=item.deadline_s
+                    item.instance,
+                    tier=item.tier,
+                    deadline_s=item.deadline_s,
+                    session_id=item.session_id,
                 )
             )
         for index, ticket in enumerate(tickets):

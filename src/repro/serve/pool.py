@@ -45,6 +45,10 @@ class _PoolEntry:
     size: int
     nbytes: int
     last_used: int = 0
+    #: Pool generation the entry belongs to; :meth:`WarmEnginePool.clear`
+    #: bumps the pool's generation, so a lease outstanding across a clear
+    #: is recognized as purged on release instead of re-entering the pool.
+    generation: int = 0
 
 
 class EngineLease:
@@ -111,6 +115,7 @@ class WarmEnginePool:
         self._lock = threading.Lock()
         self._idle: dict[int, list[_PoolEntry]] = {}
         self._tick = 0
+        self._generation = 0
         self._leased = 0
         self._hits = 0
         self._misses = 0
@@ -136,12 +141,14 @@ class WarmEnginePool:
                     del self._idle[size]
                 self._leased += 1
                 self._hits += 1
+                self._refresh_gauge_locked()
                 self.metrics.counter(
                     "serve.pool.hits", "engine leases served from the warm pool"
                 ).inc()
                 return EngineLease(self, entry, hit=True)
             self._leased += 1
             self._misses += 1
+            generation = self._generation
         self.metrics.counter(
             "serve.pool.misses", "engine leases that had to compile"
         ).inc()
@@ -153,13 +160,33 @@ class WarmEnginePool:
             "warm pool compiled n=%d (%d bytes of mapped tensors)", size, nbytes
         )
         return EngineLease(
-            self, _PoolEntry(solver=solver, size=size, nbytes=nbytes), hit=False
+            self,
+            _PoolEntry(
+                solver=solver, size=size, nbytes=nbytes, generation=generation
+            ),
+            hit=False,
         )
 
     def _release(self, entry: _PoolEntry) -> None:
         evicted: list[_PoolEntry] = []
         with self._lock:
             self._leased -= 1
+            if entry.generation != self._generation:
+                # The pool was cleared while this engine was on lease: it
+                # was purged, so dropping it here (instead of re-inserting
+                # a resurrected pre-clear engine) is the correct outcome.
+                self._evictions += 1
+                self._refresh_gauge_locked()
+                self.metrics.counter(
+                    "serve.pool.evictions",
+                    "warm engines evicted under the budget",
+                ).inc()
+                logger.info(
+                    "warm pool dropped stale n=%d lease (pool cleared during "
+                    "lease)",
+                    entry.size,
+                )
+                return
             self._tick += 1
             entry.last_used = self._tick
             self._idle.setdefault(entry.size, []).append(entry)
@@ -192,10 +219,19 @@ class WarmEnginePool:
                 "serve.pool.evictions", "warm engines evicted under the budget"
             ).inc()
             evicted.append(oldest)
+        self._refresh_gauge_locked()
+        return evicted
+
+    def _refresh_gauge_locked(self) -> None:
+        """Re-publish the idle footprint after *every* pool mutation.
+
+        The gauge previously only moved on eviction, so a hit (idle bytes
+        drop) or a clear (idle bytes go to zero) left it reporting a stale
+        footprint until the next budget-driven eviction.
+        """
         self.metrics.gauge(
             "serve.pool.resident_bytes", "idle warm-pool footprint"
         ).set(self._idle_bytes_locked())
-        return evicted
 
     def _idle_bytes_locked(self) -> int:
         return sum(
@@ -217,11 +253,18 @@ class WarmEnginePool:
             return frozenset(self._idle)
 
     def clear(self) -> None:
-        """Drop every idle entry (tests; leased engines are unaffected)."""
+        """Purge the pool: drop idle entries now, leased ones on release.
+
+        Bumping the generation marks every outstanding lease as pre-clear,
+        so its release discards the engine instead of resurrecting it into
+        the freshly cleared pool.
+        """
         with self._lock:
             dropped = sum(len(stack) for stack in self._idle.values())
             self._evictions += dropped
             self._idle.clear()
+            self._generation += 1
+            self._refresh_gauge_locked()
 
     def stats(self) -> dict:
         """JSON-ready snapshot feeding the ``repro.serve/1`` export."""

@@ -91,6 +91,10 @@ class SolveRequest:
     #: Correlation id shared by every span and log line of this request
     #: (``req-<id>`` stamped by the service at submission).
     correlation_id: str = dataclasses.field(default="", compare=False)
+    #: Client-chosen session id linking repeated solves of a drifting
+    #: instance; with a session store enabled, engine-bound follow-ups are
+    #: warm-started from the session's previous solve.
+    session_id: str | None = dataclasses.field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.tier not in QUALITY_TIERS:

@@ -58,12 +58,33 @@ _LADDERS = {
 
 
 class LatencyEstimator:
-    """Thread-safe EWMA of per-(backend, shape) service latency."""
+    """Thread-safe EWMA of per-(backend, shape) service latency.
 
-    def __init__(self, alpha: float = 0.3) -> None:
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in (0, 1].
+    max_extrapolation:
+        Cap on how far an unseen shape may be extrapolated from the nearest
+        observed one: when ``max(size, seen) / min(size, seen)`` exceeds
+        this factor, :meth:`estimate` returns None (unknown) instead of a
+        quadratic guess.  An unbounded guess from one tiny warm shape can
+        claim a large cold shape takes ~0, or — worse — claim a distant
+        shape misses its deadline and preempt it off the engine it asked
+        for.
+    """
+
+    def __init__(
+        self, alpha: float = 0.3, *, max_extrapolation: float = 4.0
+    ) -> None:
         if not 0 < alpha <= 1:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if max_extrapolation < 1:
+            raise ValueError(
+                f"max_extrapolation must be >= 1, got {max_extrapolation}"
+            )
         self.alpha = alpha
+        self.max_extrapolation = float(max_extrapolation)
         self._lock = threading.Lock()
         self._ewma: dict[tuple[str, int], float] = {}
 
@@ -85,11 +106,16 @@ class LatencyEstimator:
             if exact is not None:
                 return exact
             # Unseen shape: scale the nearest observed shape of the same
-            # backend quadratically (solve work grows ~n^2 per iteration).
+            # backend quadratically (solve work grows ~n^2 per iteration) —
+            # but only within ``max_extrapolation``; beyond it the guess is
+            # noise and None ("unknown") is the honest answer.
             best: float | None = None
             best_gap = None
             for (seen_backend, seen_size), value in self._ewma.items():
                 if seen_backend != backend:
+                    continue
+                ratio = max(size, seen_size) / min(size, seen_size)
+                if ratio > self.max_extrapolation:
                     continue
                 gap = abs(seen_size - size)
                 if best_gap is None or gap < best_gap:

@@ -60,6 +60,7 @@ from repro.obs.spans import NULL_SPANS, NullSpanTracer, child_span, correlation_
 from repro.serve.pool import WarmEnginePool
 from repro.serve.request import RejectReason, SolveRequest, SolveResponse, Ticket
 from repro.serve.router import LatencyEstimator, Router
+from repro.serve.sessions import SessionStore
 from repro.serve.stats import latency_summary
 
 __all__ = ["SolverService"]
@@ -110,6 +111,11 @@ class SolverService:
         :data:`~repro.obs.spans.NULL_SPANS` — disabled, near-zero cost.
         Every request is tagged with a ``req-<id>`` correlation id either
         way, so log lines stay greppable even without span tracing.
+    sessions:
+        Optional :class:`~repro.serve.sessions.SessionStore`.  When set,
+        engine-bound requests carrying a ``session_id`` skip micro-batching
+        and run through the solver's warm-start path, seeded from the
+        session's previous solve (see ``docs/serving.md``).
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class SolverService:
         verify: bool = False,
         metrics: MetricsRegistry | None = None,
         spans: NullSpanTracer = NULL_SPANS,
+        sessions: SessionStore | None = None,
     ) -> None:
         if workers < 1:
             raise SolverError(f"workers must be >= 1, got {workers}")
@@ -143,6 +150,7 @@ class SolverService:
         self.router = router if router is not None else Router(LatencyEstimator())
         self.verify = verify
         self.spans = spans
+        self.sessions = sessions
         self.max_batch = int(max_batch)
         self.batch_window_s = float(batch_window_s)
         self.queue_capacity = int(queue_capacity)
@@ -193,6 +201,7 @@ class SolverService:
         *,
         tier: str = "auto",
         deadline_s: float | None = None,
+        session_id: str | None = None,
     ) -> Ticket:
         """Submit one instance; returns immediately with a :class:`Ticket`.
 
@@ -212,7 +221,8 @@ class SolverService:
         correlation_id = f"req-{request_id:06d}"
         with correlation_scope(correlation_id):
             return self._admit(
-                instance, tier, deadline_s, request_id, correlation_id, now
+                instance, tier, deadline_s, request_id, correlation_id, now,
+                session_id,
             )
 
     def _admit(
@@ -223,6 +233,7 @@ class SolverService:
         request_id: int,
         correlation_id: str,
         now: float,
+        session_id: str | None = None,
     ) -> Ticket:
         try:
             request = SolveRequest(
@@ -232,6 +243,7 @@ class SolverService:
                 request_id=request_id,
                 submitted_at=now,
                 correlation_id=correlation_id,
+                session_id=session_id,
             )
         except InvalidProblemError as exc:
             fallback_request = SolveRequest(
@@ -405,6 +417,18 @@ class SolverService:
             self._mark_dequeued(head)
             now = monotonic()
             plan = self.router.plan(head.request, self.pool.warm_sizes(), now)
+            if (
+                self.sessions is not None
+                and head.request.session_id
+                and plan.backend == "hunipu"
+            ):
+                # Session traffic runs solo on an engine of the request's
+                # own size — warm-start seeds are shape-exact, so neither
+                # micro-batching nor pad-to-cached applies.
+                with self._stats_lock:
+                    self._batches += 1
+                self._execute_engine_session(head, plan)
+                return
             batch = [head]
             if plan.backend == "hunipu" and self.max_batch > 1:
                 batch += self._coalesce(head, plan)
@@ -545,6 +569,61 @@ class SolverService:
                         batched=len(tickets),
                         service_s=per_request,
                     )
+            finally:
+                lease.release()
+
+    def _execute_engine_session(self, ticket: Ticket, plan) -> None:
+        """Run a session-bound request through the warm-start path.
+
+        Looks up the session's previous seed, leases an engine at the
+        request's exact size, and lets :meth:`HunIPUSolver.resolve` pick
+        warm or cold (the changed-row delta decides).  The captured seed
+        for the next solve is recorded back into the store either way.
+        Engine faults descend the regular backend ladder.
+        """
+        request = ticket.request
+        assert self.sessions is not None and request.session_id
+        with self._execute_scope(ticket):
+            seed = self.sessions.get(request.session_id, request.size)
+            lease = self.pool.acquire(request.size)
+            try:
+                started = monotonic()
+                try:
+                    with child_span(
+                        "session.resolve",
+                        session=request.session_id,
+                        seed_hit=seed is not None,
+                    ) as span:
+                        result = lease.solver.resolve(request.instance, seed)
+                        span.set(mode=result.stats["resolve"]["mode"])
+                except ReproError as exc:
+                    logger.warning(
+                        "session solve failed for request %d (%s); "
+                        "descending ladder",
+                        request.request_id,
+                        exc,
+                    )
+                    self._execute_ladder(ticket, plan, lease=lease)
+                    return
+                service_s = monotonic() - started
+                self.router.estimator.observe("hunipu", request.size, service_s)
+                # The seed is process-internal state, not response payload.
+                next_seed = result.stats.pop("warm_start", None)
+                self.sessions.record(
+                    request.session_id,
+                    next_seed,
+                    supersteps=int(result.stats["supersteps"]),
+                    warm_used=bool(result.stats["warm_start_used"]),
+                )
+                self._complete(
+                    ticket,
+                    result,
+                    backend="hunipu",
+                    plan=plan,
+                    retries=0,
+                    batched=1,
+                    service_s=service_s,
+                )
             finally:
                 lease.release()
 
@@ -853,6 +932,8 @@ class SolverService:
             "pool": self.pool.stats(),
             "estimator": self.router.estimator.snapshot(),
         }
+        if self.sessions is not None:
+            document["sessions"] = self.sessions.stats()
         return document
 
     def prometheus_text(self) -> str:

@@ -1,0 +1,158 @@
+"""LRU session store: per-session warm-start seeds for the serving layer.
+
+Streaming clients (tracking loops, matching markets) re-submit
+near-identical instances under one **session id**.  The store keeps the
+:class:`~repro.core.warmstart.WarmStart` recovered from each session's last
+solve; the service routes an engine-bound follow-up through
+:meth:`~repro.core.solver.HunIPUSolver.resolve`, which seeds the duals and
+pre-stars the previous matching so only the drifted rows re-match.
+
+Accounting (all also exported as ``serve.sessions.*`` metrics):
+
+* ``hits`` / ``misses`` — seed lookups that found / did not find a
+  shape-compatible previous solve;
+* ``supersteps_saved`` — per warm solve, the session's cold-solve
+  superstep count minus the warm count (clamped at zero); the honest
+  apples-to-apples number comes from ``bench/stream.py``, which actually
+  runs both paths — this counter is the live online estimate;
+* ``evictions`` — sessions dropped by the LRU bound.
+
+Thread-safe; entries are touched on both lookups and updates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import threading
+from collections import OrderedDict
+
+from repro.core.warmstart import WarmStart
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["SessionStore"]
+
+logger = logging.getLogger(__name__)
+
+#: Default bound on live sessions (each entry holds O(n^2) previous costs).
+DEFAULT_CAPACITY = 256
+
+
+@dataclasses.dataclass
+class _SessionEntry:
+    warm: WarmStart
+    size: int
+    solves: int = 1
+    #: Superstep count of the session's latest *cold* solve — the baseline
+    #: the online supersteps-saved estimate is measured against.
+    cold_supersteps: int | None = None
+
+
+class SessionStore:
+    """Bounded LRU map ``session_id -> WarmStart`` with savings accounting."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _SessionEntry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._warm_solves = 0
+        self._supersteps_saved = 0
+
+    def get(self, session_id: str, size: int) -> WarmStart | None:
+        """The session's seed, or None (counted as a miss) when absent.
+
+        A seed whose shape no longer matches the request is a miss too —
+        the caller solves cold and the next :meth:`record` replaces it.
+        """
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is not None and entry.size == size:
+                self._entries.move_to_end(session_id)
+                self._hits += 1
+                hit = True
+                warm = entry.warm
+            else:
+                self._misses += 1
+                hit = False
+                warm = None
+        self.metrics.counter(
+            "serve.sessions.hits" if hit else "serve.sessions.misses",
+            "session seed lookups that hit" if hit else "session seed lookups that missed",
+        ).inc()
+        return warm
+
+    def record(
+        self,
+        session_id: str,
+        warm: WarmStart | None,
+        *,
+        supersteps: int,
+        warm_used: bool,
+    ) -> None:
+        """Store the seed a finished solve captured and account for it."""
+        if warm is None:
+            return
+        evicted = 0
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is None or entry.size != warm.size:
+                entry = _SessionEntry(warm=warm, size=warm.size)
+                self._entries[session_id] = entry
+            else:
+                entry.warm = warm
+                entry.solves += 1
+            self._entries.move_to_end(session_id)
+            saved = 0
+            if warm_used:
+                self._warm_solves += 1
+                if entry.cold_supersteps is not None:
+                    saved = max(0, entry.cold_supersteps - supersteps)
+                    self._supersteps_saved += saved
+            else:
+                entry.cold_supersteps = supersteps
+            while len(self._entries) > self.capacity:
+                dropped_id, _ = self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+                logger.debug("session store evicted %s (LRU)", dropped_id)
+        if warm_used:
+            self.metrics.counter(
+                "serve.sessions.warm_solves", "solves served from a session seed"
+            ).inc()
+            if saved:
+                self.metrics.counter(
+                    "serve.sessions.supersteps_saved",
+                    "supersteps saved vs the session's cold baseline",
+                ).inc(saved)
+        if evicted:
+            self.metrics.counter(
+                "serve.sessions.evictions", "sessions dropped by the LRU bound"
+            ).inc(evicted)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot feeding the ``repro.serve/1`` export."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "sessions": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "warm_solves": self._warm_solves,
+                "supersteps_saved": self._supersteps_saved,
+            }

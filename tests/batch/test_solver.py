@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from scipy.optimize import linear_sum_assignment
 
-from repro.batch import BatchSolver, GroupReport, pad_instance_costs
+from repro.batch import BatchSolver, GroupReport, choose_target, pad_instance_costs
 from repro.batch.solver import _restrict_result
 from repro.baselines import ScipySolver
 from repro.core.solver import HunIPUSolver
@@ -20,6 +20,47 @@ from repro.obs.trace import Tracer
 def _oracle_cost(instance: LAPInstance) -> float:
     rows, cols = linear_sum_assignment(instance.costs)
     return float(instance.costs[rows, cols].sum())
+
+
+class TestChooseTarget:
+    def test_cached_size_never_pads(self):
+        assert choose_target(8, cached=frozenset({8, 10})) == 8
+
+    def test_pads_up_to_cached_shape(self):
+        assert choose_target(7, cached=frozenset({8})) == 7 + 1
+
+    def test_never_pads_down(self):
+        assert choose_target(9, cached=frozenset({8})) == 9
+
+    def test_candidate_exactly_at_limit_is_admitted(self):
+        # Regression: 20 * 1.15 == 22.999999999999996 in binary floating
+        # point, so a cached size-23 engine — exactly at the padding limit
+        # — was rejected and the request recompiled its own graph.
+        assert choose_target(20, cached=frozenset({23}), pad_limit=1.15) == 23
+
+    @pytest.mark.parametrize(
+        "size,pad_limit",
+        [(20, 1.15), (8, 1.25), (40, 1.1), (100, 1.03), (64, 1.25)],
+    )
+    def test_exact_boundary_is_always_admitted(self, size, pad_limit):
+        # For any boundary that is exactly an integer, the candidate at
+        # size * pad_limit must be admitted regardless of float rounding.
+        from fractions import Fraction
+
+        boundary = Fraction(size) * Fraction(str(pad_limit))
+        assert boundary.denominator == 1, "test wants an exact-integer boundary"
+        candidate = int(boundary)
+        assert choose_target(
+            size, cached=frozenset({candidate}), pad_limit=pad_limit
+        ) == candidate
+        # ...and the next integer above the boundary must still be rejected.
+        assert choose_target(
+            size, cached=frozenset({candidate + 1}), pad_limit=pad_limit
+        ) == size
+
+    def test_popular_size_attracts_padding(self):
+        counts = {8: 1, 9: 5}
+        assert choose_target(8, cached=frozenset(), counts=counts) == 9
 
 
 class TestPadInstanceCosts:

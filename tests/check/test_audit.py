@@ -31,7 +31,9 @@ class TestAuditSolver:
         entries = audit_solver(sizes=(13,), include_batch=False)
         assert [e.label for e in entries] == [
             "hunipu n=13 (compressed)",
+            "hunipu n=13 (compressed) warm",
             "hunipu n=13 (uncompressed)",
+            "hunipu n=13 (uncompressed) warm",
         ]
         for entry in entries:
             assert entry.report.ok, entry.report.format_text()

@@ -117,6 +117,41 @@ class TestControlFlow:
         assert report.exchange_bytes == 16
 
 
+class TestReentrancy:
+    def test_reentrant_run_raises(self, toy_spec):
+        # Regression: a second run() while one was in flight silently
+        # cross-wired the in-flight run's profiler/tracer/metrics state
+        # (the inner run's finally nulled them out from under the outer).
+        graph, counter, _, inc, _ = _counter_graph(toy_spec)
+        engine = Engine(graph, Repeat(3, Execute(inc)))
+        seen = []
+        original = engine._run_program
+
+        def reenter(program):
+            # _run_program recurses through control flow; re-enter once.
+            if not seen:
+                seen.append(True)
+                with pytest.raises(ExecutionError, match="not reentrant"):
+                    engine.run()
+            return original(program)
+
+        engine._run_program = reenter
+        report = engine.run()  # the outer run must be unharmed
+        assert seen == [True]
+        assert counter.read_host()[0] == 3
+        assert report.supersteps > 0
+
+    def test_engine_is_reusable_after_reentrancy_error(self, toy_spec):
+        graph, counter, _, inc, _ = _counter_graph(toy_spec)
+        engine = Engine(graph, Repeat(2, Execute(inc)))
+        engine._running = True
+        with pytest.raises(ExecutionError, match="lease one engine"):
+            engine.run()
+        engine._running = False
+        engine.run()
+        assert counter.read_host()[0] == 2
+
+
 class TestCostAccounting:
     def test_superstep_charges_all_three_phases(self, toy_spec):
         graph = ComputeGraph(toy_spec)

@@ -105,6 +105,96 @@ class TestTraceExport:
             validate_document({"schema": "repro.trace/999"})
 
 
+def _stream_document():
+    """A minimal valid ``repro.stream/1`` document."""
+    return {
+        "schema": "repro.stream/1",
+        "meta": {
+            "size": 8,
+            "ticks": 2,
+            "drift_rows": 1,
+            "seed": 0,
+            "scale": "quick",
+            "audit": "pass",
+        },
+        "ticks": [
+            {
+                "tick": 0,
+                "mode": "cold",
+                "changed_rows": 0,
+                "cold_supersteps": 100,
+                "warm_supersteps": 100,
+                "saved": 0,
+                "costs_equal": True,
+                "scipy_optimal": True,
+            },
+            {
+                "tick": 1,
+                "mode": "warm",
+                "changed_rows": 1,
+                "cold_supersteps": 100,
+                "warm_supersteps": 40,
+                "saved": 60,
+                "costs_equal": True,
+                "scipy_optimal": True,
+            },
+        ],
+        "totals": {
+            "cold_supersteps": 200,
+            "warm_supersteps": 140,
+            "supersteps_saved": 60,
+            "saved_fraction": 0.3,
+        },
+    }
+
+
+class TestStreamExport:
+    def test_valid_document(self):
+        assert validate_document(_stream_document()) == "repro.stream/1"
+
+    def test_cost_mismatch_rejected(self):
+        document = _stream_document()
+        document["ticks"][1]["costs_equal"] = False
+        with pytest.raises(SchemaError, match="bit-identical"):
+            validate_document(document)
+
+    def test_oracle_mismatch_rejected(self):
+        document = _stream_document()
+        document["ticks"][1]["scipy_optimal"] = False
+        with pytest.raises(SchemaError, match="scipy"):
+            validate_document(document)
+
+    def test_inconsistent_totals_rejected(self):
+        document = _stream_document()
+        document["totals"]["cold_supersteps"] = 999
+        with pytest.raises(SchemaError, match="totals"):
+            validate_document(document)
+
+    def test_inconsistent_saved_rejected(self):
+        document = _stream_document()
+        document["ticks"][1]["saved"] = 61
+        with pytest.raises(SchemaError, match="saved"):
+            validate_document(document)
+
+    def test_inconsistent_saved_fraction_rejected(self):
+        document = _stream_document()
+        document["totals"]["saved_fraction"] = 0.9
+        with pytest.raises(SchemaError, match="saved_fraction"):
+            validate_document(document)
+
+    def test_empty_ticks_rejected(self):
+        document = _stream_document()
+        document["ticks"] = []
+        with pytest.raises(SchemaError, match="non-empty"):
+            validate_document(document)
+
+    def test_bad_mode_rejected(self):
+        document = _stream_document()
+        document["ticks"][0]["mode"] = "tepid"
+        with pytest.raises(SchemaError, match="mode"):
+            validate_document(document)
+
+
 class TestMetricsExport:
     def test_snapshot_document(self):
         registry = MetricsRegistry()

@@ -86,6 +86,47 @@ class TestEviction:
         assert metrics.gauge("serve.pool.resident_bytes").value == 0
 
 
+class TestClearGeneration:
+    def test_release_after_clear_does_not_resurrect(self):
+        # Regression: an engine on lease across clear() used to re-enter
+        # the idle pool on release, resurrecting a purged engine.
+        pool = WarmEnginePool()
+        lease = pool.acquire(8)
+        pool.clear()
+        lease.release()
+        assert pool.warm_sizes() == frozenset()
+        stats = pool.stats()
+        assert stats["leased"] == 0
+        assert stats["resident_bytes"] == 0
+        assert stats["evictions"] == 1  # the stale lease counts as evicted
+
+    def test_release_in_new_generation_is_kept(self):
+        pool = WarmEnginePool()
+        pool.acquire(8).release()
+        pool.clear()
+        # A lease taken *after* the clear belongs to the new generation
+        # and must pool normally.
+        pool.acquire(8).release()
+        assert pool.warm_sizes() == frozenset({8})
+
+    def test_gauge_tracks_every_mutation(self):
+        # Regression: serve.pool.resident_bytes only moved on eviction, so
+        # hits and clears left it stale.
+        metrics = MetricsRegistry()
+        pool = WarmEnginePool(metrics=metrics)
+        gauge = metrics.gauge("serve.pool.resident_bytes")
+        pool.acquire(8).release()
+        resident = pool.stats()["resident_bytes"]
+        assert resident > 0
+        assert gauge.value == resident
+        lease = pool.acquire(8)  # hit empties the idle pool
+        assert gauge.value == 0
+        lease.release()
+        assert gauge.value == resident
+        pool.clear()
+        assert gauge.value == 0
+
+
 class TestThreadSafety:
     def test_concurrent_acquire_release_accounting(self):
         pool = WarmEnginePool()

@@ -44,6 +44,31 @@ class TestLatencyEstimator:
         with pytest.raises(ValueError):
             LatencyEstimator(alpha=0.0)
 
+    def test_rejects_bad_max_extrapolation(self):
+        with pytest.raises(ValueError):
+            LatencyEstimator(max_extrapolation=0.5)
+
+    def test_distant_shape_is_unknown_not_extrapolated(self):
+        # Regression: one tiny warm shape used to be extrapolated
+        # quadratically to arbitrarily distant sizes (8 → 512 is a 4096x
+        # guess built on zero evidence).  Beyond the bound the estimator
+        # must say "unknown".
+        estimator = LatencyEstimator(max_extrapolation=4.0)
+        estimator.observe("hunipu", 8, 0.1)
+        assert estimator.estimate("hunipu", 512) is None
+        assert estimator.estimate("hunipu", 1) is None  # too far *down* too
+        # Within the bound the quadratic scaling still applies.
+        assert estimator.estimate("hunipu", 32) == pytest.approx(1.6)
+
+    def test_nearest_in_bound_shape_wins(self):
+        estimator = LatencyEstimator(max_extrapolation=4.0)
+        estimator.observe("hunipu", 8, 0.1)
+        estimator.observe("hunipu", 64, 0.8)
+        # 48 is nearer to 64; 8 → 48 would also exceed the bound anyway.
+        assert estimator.estimate("hunipu", 48) == pytest.approx(
+            0.8 * (48 / 64) ** 2
+        )
+
 
 class TestLadders:
     def test_tier_ladders(self):
@@ -107,6 +132,19 @@ class TestPreemptiveDegradation:
         )
         assert plan.backend == "hunipu"
         assert not plan.preempted
+
+    def test_cold_distant_shape_is_not_preempted(self):
+        # Regression: a single observation on a tiny shape used to produce
+        # a wild quadratic guess for a much larger cold shape, preempting
+        # it off the engine before the engine ever got to prove itself.
+        router = Router()
+        router.estimator.observe("hunipu", 8, 0.05)
+        plan = router.plan(
+            _request(size=256, deadline_s=0.01), frozenset(), 0.0
+        )
+        assert plan.backend == "hunipu"
+        assert not plan.preempted
+        assert plan.estimate_s is None
 
     def test_slow_middle_legs_are_skipped_but_backstop_kept(self):
         router = Router()
