@@ -13,10 +13,17 @@ Three legs, all driven by the seeded load generator
 * **fault injection** — a seeded flaky engine behind the warm pool; the leg
   verifies the degradation ladder serves every request correctly while
   counting retries and fallbacks.
+* **HTTP rate sweep** — the multi-process :class:`repro.serve.WorkerPool`
+  behind the HTTP front-end, offered open-loop load at 1×, 10×, and 100×
+  the single-process open-loop rate.  The committed trajectory records,
+  per rung: offered vs achieved rate, shed (typed-reject) fraction,
+  client-observed p50/p99, and the mean certified optimality gap per tier
+  — the "internet-scale" acceptance numbers.
 
-Every leg re-verifies all completed responses against scipy and asserts the
-zero-lost accounting; the notes flag OK/CHECK on the acceptance criteria
-(warm faster than cold, nothing lost, 100% verified).
+Every leg re-verifies all completed responses against scipy (gap-aware for
+the approximate tier) and asserts the zero-lost accounting; the notes flag
+OK/CHECK on the acceptance criteria (warm faster than cold, nothing lost,
+100% verified, 100× offered load fully terminated).
 """
 
 from __future__ import annotations
@@ -25,10 +32,13 @@ from repro.bench.harness import ExperimentResult, format_grid
 from repro.bench.recording import BenchScale, RunRecord
 from repro.obs.metrics import MetricsRegistry
 from repro.serve import (
+    HttpFrontend,
     SolverService,
     WarmEnginePool,
+    WorkerPool,
     flaky_factory,
     generate_workload,
+    run_http_load,
     run_load,
 )
 
@@ -81,6 +91,68 @@ def _run_leg(
     return report, service.stats_document()
 
 
+#: Tier mix for the HTTP sweep: enough approx traffic to commit a gap
+#: trajectory, enough exact traffic to pin bit-identical verification.
+_HTTP_TIER_WEIGHTS = {"auto": 0.5, "ipu": 0.2, "fast": 0.15, "approx": 0.15}
+
+#: Requests per sweep rung, as a multiple of the scale's base request count.
+#: The 100× rung offers two orders of magnitude more load than the base
+#: open-loop leg without making the quick benchmark run for minutes.
+_HTTP_RUNGS = ((1, 1.0), (10, 2.5), (100, 10.0))
+
+
+def _run_http_sweep(
+    *,
+    requests: int,
+    workers: int,
+    shapes,
+    rate: float,
+    seed: int,
+) -> list[dict]:
+    """Offer 1×/10×/100× open-loop load to the HTTP + multi-process stack.
+
+    One :class:`WorkerPool` (2 worker processes, warm engine pools) behind
+    one :class:`HttpFrontend`, hit by :func:`run_http_load` at each rung of
+    the rate ladder.  Returns one report dict per rung, tagged with the
+    rate multiplier.
+    """
+    unique_shapes = sorted(set(shapes))
+    reports: list[dict] = []
+    pool = WorkerPool(
+        workers=2,
+        threads=max(2, workers),
+        queue_capacity=256,
+        verify=True,
+        warm_sizes=unique_shapes,
+        approx_seed=seed,
+    )
+    frontend = None
+    try:
+        pool.wait_ready()
+        frontend = HttpFrontend(pool)
+        for rung_index, (multiplier, count_scale) in enumerate(_HTTP_RUNGS):
+            workload = generate_workload(
+                int(requests * count_scale),
+                seed=seed + rung_index,
+                shapes=shapes,
+                tier_weights=_HTTP_TIER_WEIGHTS,
+                deadlines=((None, 0.6), (0.5, 0.25), (0.05, 0.15)),
+            )
+            report = run_http_load(
+                frontend.url,
+                workload,
+                rate=rate * multiplier,
+                submitters=min(32, 4 * multiplier),
+            )
+            report["rate_multiplier"] = multiplier
+            reports.append(report)
+    finally:
+        if frontend is not None:
+            frontend.close()
+        pool.close()
+    return reports
+
+
 def run_serve_bench(
     scale: BenchScale | None = None, *, seed: int = 0
 ) -> ExperimentResult:
@@ -123,6 +195,14 @@ def run_serve_bench(
         warm_shapes=unique_shapes,
         solver_factory=flaky_factory(fault_rate, seed=seed),
     )
+    # Leg 4: HTTP + multi-process rate sweep at 1×/10×/100× the open rate.
+    http_reports = _run_http_sweep(
+        requests=requests,
+        workers=workers,
+        shapes=shapes,
+        rate=rate,
+        seed=seed + 3,
+    )
 
     def record(name: str, report, doc, extra=None) -> RunRecord:
         return RunRecord(
@@ -144,6 +224,21 @@ def run_serve_bench(
         if warm_report.latency["p50"] > 0
         else 0.0
     )
+    http_records = tuple(
+        RunRecord(
+            "serve",
+            f"http-x{report['rate_multiplier']}",
+            {
+                "requests": report["submitted"],
+                "workers": 2,
+                "offered_rps": report["offered_rps"],
+            },
+            0.0,
+            report["wall_seconds"],
+            extra=report,
+        )
+        for report in http_reports
+    )
     records = (
         record("cold-pool", cold_report, cold_doc),
         record(
@@ -154,6 +249,7 @@ def run_serve_bench(
         ),
         record("open-loop", open_report, open_doc),
         record("fault-injection", fault_report, fault_doc),
+        *http_records,
     )
 
     columns = ["p50 ms", "p95 ms", "p99 ms", "req/s", "degraded", "lost"]
@@ -180,6 +276,34 @@ def run_serve_bench(
         row_header="leg",
     )
 
+    http_columns = [
+        "offered/s", "done/s", "completed", "shed %", "p50 ms", "p99 ms",
+        "mean gap", "lost",
+    ]
+    http_cells = {}
+    http_rows = []
+    for report in http_reports:
+        row = f"x{report['rate_multiplier']}"
+        http_rows.append(row)
+        approx_gap = report["gap_by_tier"].get("approx", {})
+        http_cells[(row, "offered/s")] = report["offered_rps"]
+        http_cells[(row, "done/s")] = report["achieved_rps"]
+        http_cells[(row, "completed")] = report["completed"]
+        http_cells[(row, "shed %")] = 100.0 * report["shed_rate"]
+        http_cells[(row, "p50 ms")] = report["latency_seconds"]["p50"] * 1e3
+        http_cells[(row, "p99 ms")] = report["latency_seconds"]["p99"] * 1e3
+        http_cells[(row, "mean gap")] = approx_gap.get("mean_gap_bound", 0.0)
+        http_cells[(row, "lost")] = report["lost"]
+    http_table = format_grid(
+        f"HTTP sweep: 2 worker processes behind the HTTP front-end, "
+        f"open loop at {rate:.0f}×(1, 10, 100) req/s "
+        f"(tier mix incl. {_HTTP_TIER_WEIGHTS['approx']:.0%} approx)",
+        http_rows,
+        http_columns,
+        http_cells,
+        row_header="rate",
+    )
+
     all_reports = (cold_report, warm_report, open_report, fault_report)
     lost = sum(r.lost for r in all_reports)
     unverified = sum(r.verify_failures for r in all_reports)
@@ -201,4 +325,29 @@ def run_serve_bench(
         f"open loop shed {sum(open_report.rejected.values())} request(s) "
         f"via typed admission rejects",
     )
-    return ExperimentResult("serve", scale.name, records, (table,), notes)
+
+    top = http_reports[-1]
+    http_lost = sum(r["lost"] for r in http_reports)
+    http_unverified = sum(r["verify_failures"] for r in http_reports)
+    max_gap = max(
+        (
+            summary.get("max_gap_bound", 0.0)
+            for r in http_reports
+            for summary in r["gap_by_tier"].values()
+        ),
+        default=0.0,
+    )
+    notes = notes + (
+        f"http sweep: {top['offered_rps']:.0f} req/s offered "
+        f"(100x the single-process open-loop rate) — every request "
+        f"terminated typed: {top['completed']} completed, "
+        f"{sum(top['rejected'].values())} typed-rejected, "
+        f"{http_lost} lost across all rungs "
+        f"({'OK' if http_lost == 0 else 'CHECK'})",
+        f"http sweep: {http_unverified} gap-aware scipy verification "
+        f"failure(s) ({'OK' if http_unverified == 0 else 'CHECK'}); "
+        f"max certified gap bound {max_gap:.3g}",
+    )
+    return ExperimentResult(
+        "serve", scale.name, records, (table, http_table), notes
+    )

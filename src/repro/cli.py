@@ -447,6 +447,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.prom",
         help="write the service metrics in Prometheus text format",
     )
+    serve.add_argument(
+        "--http",
+        nargs="?",
+        const="127.0.0.1:0",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over HTTP with a multi-process worker pool "
+        "(--workers becomes the process count; port 0 picks a free one)",
+    )
+    serve.add_argument(
+        "--worker-threads",
+        type=int,
+        default=2,
+        metavar="N",
+        help="service threads inside each worker process (with --http)",
+    )
+    serve.add_argument(
+        "--forever",
+        action="store_true",
+        help="with --http: serve until interrupted instead of driving a "
+        "synthetic workload",
+    )
+    serve.add_argument(
+        "--approx-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="bidding-order seed of the approximate (auction) tier",
+    )
+    serve.add_argument(
+        "--crash-faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="with --http: seeded probability that an engine run kills its "
+        "worker process (exercises supervisor re-dispatch/restart)",
+    )
     _add_logging_args(serve)
 
     stats = sub.add_parser(
@@ -1053,6 +1090,118 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """``repro serve --http``: the multi-process HTTP serving mode."""
+    import time
+
+    from repro.obs import validate_document, write_json
+    from repro.serve import HttpFrontend, WorkerPool, generate_workload
+    from repro.serve.loadgen import DEFAULT_SHAPES, run_http_load
+
+    host, _, port_text = args.http.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --http expects HOST:PORT, got {args.http!r}",
+            file=sys.stderr,
+        )
+        return 2
+    shapes = tuple(args.shapes) if args.shapes else DEFAULT_SHAPES
+    fault_spec = None
+    if args.inject_faults > 0 or args.crash_faults > 0:
+        fault_spec = {
+            "failure_rate": args.inject_faults,
+            "crash_rate": args.crash_faults,
+            "seed": args.seed,
+        }
+    pool = WorkerPool(
+        workers=args.workers,
+        threads=args.worker_threads,
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        verify=args.verify,
+        warm_sizes=() if args.no_warm else tuple(sorted(set(shapes))),
+        fault_spec=fault_spec,
+        approx_seed=args.approx_seed,
+    )
+    try:
+        pool.wait_ready()
+        frontend = HttpFrontend(pool, host=host, port=int(port_text))
+    except Exception:
+        pool.close()
+        raise
+    meta = {"seed": args.seed, "transport": "http", "shapes": sorted(set(shapes))}
+    try:
+        print(
+            f"http serving  : {frontend.url} "
+            f"({args.workers} worker processes x {args.worker_threads} threads)"
+        )
+        if args.forever:
+            print("endpoints     : /solve /healthz /metrics /stats  (Ctrl-C stops)")
+            try:
+                while True:
+                    time.sleep(1.0)
+                    if args.stats is not None and args.stats_interval:
+                        write_json(args.stats, pool.stats_document(meta))
+            except KeyboardInterrupt:
+                print("interrupted; shutting down")
+            return 0
+        workload = generate_workload(
+            args.requests,
+            seed=args.seed,
+            shapes=shapes,
+            tier_weights={"auto": 0.5, "ipu": 0.2, "fast": 0.15, "approx": 0.15},
+        )
+        report = run_http_load(
+            frontend.url, workload, rate=args.rate, verify=args.verify
+        )
+        document = pool.stats_document(meta)
+        validate_document(document)
+        print(
+            f"completed     : {report['completed']}/{report['submitted']} "
+            f"({report['achieved_rps']:.1f} req/s achieved of "
+            f"{report['offered_rps']:.1f} offered)"
+        )
+        print(
+            f"rejected      : {sum(report['rejected'].values())} "
+            f"{report['rejected']}  shed rate {report['shed_rate']:.3f}"
+        )
+        latency = report["latency_seconds"]
+        print(
+            f"latency       : p50 {latency['p50'] * 1e3:.2f} ms, "
+            f"p99 {latency['p99'] * 1e3:.2f} ms"
+        )
+        for tier, gap in report["gap_by_tier"].items():
+            print(
+                f"gap[{tier:<6}]   : {gap['responses']} responses, "
+                f"mean {gap['mean_gap_bound']:.3g}, max {gap['max_gap_bound']:.3g}"
+            )
+        supervisor = document["supervisor"]
+        print(
+            f"supervisor    : restarts {supervisor['restarts']}, "
+            f"redispatched {supervisor['redispatched']}"
+        )
+        if args.stats is not None:
+            path = write_json(args.stats, document)
+            print(f"stats written : {path}")
+        if args.prom is not None:
+            args.prom.parent.mkdir(parents=True, exist_ok=True)
+            args.prom.write_text(pool.prometheus_text())
+            print(f"prom written  : {args.prom}")
+        failures = []
+        if report["lost"] > 0:
+            failures.append(f"{report['lost']} request(s) lost without a reply")
+        if report["verify_failures"] > 0:
+            failures.append(
+                f"{report['verify_failures']} response(s) failed verification"
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 0 if not failures else 1
+    finally:
+        frontend.close()
+        pool.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -1079,6 +1228,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if not 0.0 <= args.inject_faults <= 1.0:
         print("error: --inject-faults must be in [0, 1]", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.crash_faults <= 1.0:
+        print("error: --crash-faults must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.http is not None:
+        return _cmd_serve_http(args)
+    if args.forever:
+        print("error: --forever requires --http", file=sys.stderr)
+        return 2
+    if args.crash_faults > 0:
+        print("error: --crash-faults requires --http", file=sys.stderr)
         return 2
     if args.stats_interval is not None and args.stats_interval <= 0:
         print("error: --stats-interval must be positive", file=sys.stderr)
@@ -1128,6 +1288,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics=metrics,
         spans=spans,
         sessions=sessions,
+        approx_seed=args.approx_seed,
     )
     serve_meta = {
         "seed": args.seed, "mode": args.mode, "shapes": sorted(set(shapes))

@@ -1,5 +1,6 @@
 """LSAP problem layer: instances, results, and certificates."""
 
+from repro.lap.approx import APPROX_SOLVER_NAME, solve_auction
 from repro.lap.problem import LAPInstance
 from repro.lap.rectangular import padding_value, solve_rectangular
 from repro.lap.result import AssignmentResult
@@ -12,8 +13,10 @@ from repro.lap.validation import (
 )
 
 __all__ = [
+    "APPROX_SOLVER_NAME",
     "LAPInstance",
     "AssignmentResult",
+    "solve_auction",
     "padding_value",
     "solve_rectangular",
     "assert_valid_result",

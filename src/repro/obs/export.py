@@ -83,6 +83,10 @@ __all__ = [
     "validate_bench_record",
     "validate_check_document",
     "validate_serve_stats",
+    "SOLVE_REQUEST_SCHEMA",
+    "SOLVE_RESPONSE_SCHEMA",
+    "validate_solve_request",
+    "validate_solve_response",
     "SPANS_SCHEMA",
     "GOLDEN_SCHEMA",
     "spans_to_dict",
@@ -103,6 +107,8 @@ GOLDEN_SCHEMA = "repro.golden-trace/1"
 TILE_SCHEMA = "repro.tile-profile/1"
 PERF_SCHEMA = "repro.perf/1"
 STREAM_SCHEMA = "repro.stream/1"
+SOLVE_REQUEST_SCHEMA = "repro.solve-request/1"
+SOLVE_RESPONSE_SCHEMA = "repro.solve-response/1"
 
 
 class SchemaError(ValueError):
@@ -804,6 +810,56 @@ def validate_serve_stats(document: Mapping[str, Any]) -> None:
         document["fallbacks"], ("engine_error", "deadline", "retries"),
         "serve.fallbacks",
     )
+    # Optional approximate-tier block (present since the auction backend
+    # landed); the gap statistics must be internally consistent and the
+    # response count must not exceed what the backends breakdown reports
+    # for the approximate solver.
+    if "approx" in document:
+        approx = document["approx"]
+        _require_keys(
+            approx,
+            ("responses", "mean_gap_bound", "max_gap_bound", "by_tier"),
+            "serve.approx",
+        )
+        _require(
+            int(approx["responses"]) >= 0
+            and float(approx["mean_gap_bound"]) >= 0.0
+            and float(approx["max_gap_bound"]) >= 0.0,
+            "serve.approx",
+            "counts and gap bounds must be non-negative",
+        )
+        _require(
+            float(approx["mean_gap_bound"])
+            <= float(approx["max_gap_bound"]) + 1e-12,
+            "serve.approx.mean_gap_bound",
+            "mean gap bound exceeds the max gap bound",
+        )
+        by_tier = approx["by_tier"]
+        _require(
+            isinstance(by_tier, Mapping),
+            "serve.approx.by_tier",
+            "expected an object",
+        )
+        tier_total = 0
+        for tier, block in by_tier.items():
+            _require_keys(
+                block,
+                ("responses", "mean_gap_bound"),
+                f"serve.approx.by_tier.{tier}",
+            )
+            tier_total += int(block["responses"])
+        _require(
+            tier_total == int(approx["responses"]),
+            "serve.approx.by_tier",
+            f"per-tier responses sum to {tier_total}, "
+            f"total says {approx['responses']}",
+        )
+        _require(
+            int(approx["responses"]) == int(backends.get("approx", 0)),
+            "serve.approx.responses",
+            f"approx block reports {approx['responses']} responses but the "
+            f"backends breakdown served {backends.get('approx', 0)}",
+        )
     # Optional session-cache block (present when the service ran with a
     # SessionStore); lookups must be fully accounted for.
     if "sessions" in document:
@@ -819,6 +875,151 @@ def validate_serve_stats(document: Mapping[str, Any]) -> None:
             "serve.sessions.warm_solves",
             "more warm solves than seed hits",
         )
+
+
+def validate_solve_request(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.solve-request/1`` wire document.
+
+    The HTTP front-end's request body.  ``deadline_s`` is a *required key*
+    (explicitly ``null`` for no deadline) — forcing clients to state their
+    latency intent is what makes the deadline-aware routing honest.
+    """
+    _require_keys(document, ("schema", "costs", "deadline_s"), "solve-request")
+    _require(
+        document["schema"] == SOLVE_REQUEST_SCHEMA,
+        "solve-request.schema",
+        f"expected {SOLVE_REQUEST_SCHEMA!r}, got {document['schema']!r}",
+    )
+    costs = document["costs"]
+    _require(
+        isinstance(costs, list) and len(costs) > 0,
+        "solve-request.costs",
+        "expected a non-empty list of rows",
+    )
+    n = len(costs)
+    for index, row in enumerate(costs):
+        _require(
+            isinstance(row, list) and len(row) == n,
+            f"solve-request.costs[{index}]",
+            f"expected a row of length {n} (square matrix)",
+        )
+        for value in row:
+            _require(
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and math.isfinite(value),
+                f"solve-request.costs[{index}]",
+                f"expected finite numbers, got {value!r}",
+            )
+    deadline = document["deadline_s"]
+    _require(
+        deadline is None
+        or (
+            isinstance(deadline, (int, float))
+            and not isinstance(deadline, bool)
+            and math.isfinite(deadline)
+            and deadline > 0
+        ),
+        "solve-request.deadline_s",
+        f"expected a positive number or null, got {deadline!r}",
+    )
+    tier = document.get("tier", "auto")
+    from repro.serve.request import QUALITY_TIERS
+
+    _require(
+        tier in QUALITY_TIERS,
+        "solve-request.tier",
+        f"unknown tier {tier!r}, expected one of {QUALITY_TIERS}",
+    )
+    session = document.get("session_id")
+    _require(
+        session is None or isinstance(session, str),
+        "solve-request.session_id",
+        f"expected a string or null, got {session!r}",
+    )
+
+
+def validate_solve_response(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.solve-response/1`` wire document.
+
+    Mirrors the :class:`repro.serve.request.SolveResponse` invariants on
+    the wire: completed responses carry an assignment and a total cost,
+    rejected ones a typed reason, and an approximate response's
+    ``gap_bound`` is a non-negative number.
+    """
+    _require_keys(
+        document,
+        ("schema", "request_id", "correlation_id", "status"),
+        "solve-response",
+    )
+    _require(
+        document["schema"] == SOLVE_RESPONSE_SCHEMA,
+        "solve-response.schema",
+        f"expected {SOLVE_RESPONSE_SCHEMA!r}, got {document['schema']!r}",
+    )
+    status = document["status"]
+    _require(
+        status in ("completed", "rejected"),
+        "solve-response.status",
+        f"unknown status {status!r}",
+    )
+    if status == "completed":
+        _require_keys(
+            document,
+            ("assignment", "total_cost", "backend", "latency_s"),
+            "solve-response",
+        )
+        assignment = document["assignment"]
+        _require(
+            isinstance(assignment, list)
+            and all(isinstance(col, int) for col in assignment)
+            and sorted(assignment) == list(range(len(assignment))),
+            "solve-response.assignment",
+            "expected a permutation of 0..n-1",
+        )
+        _require(
+            isinstance(document["total_cost"], (int, float)),
+            "solve-response.total_cost",
+            "expected a number",
+        )
+        gap = document.get("gap_bound")
+        _require(
+            gap is None
+            or (
+                isinstance(gap, (int, float))
+                and not isinstance(gap, bool)
+                and gap >= 0.0
+            ),
+            "solve-response.gap_bound",
+            f"expected a non-negative number or null, got {gap!r}",
+        )
+    else:
+        reject = document.get("reject")
+        _require(
+            isinstance(reject, Mapping) and "code" in reject,
+            "solve-response.reject",
+            "rejected responses must carry a typed reject object",
+        )
+        from repro.serve.request import REJECT_CODES
+
+        wire_codes = REJECT_CODES + _WIRE_ONLY_REJECT_CODES
+        _require(
+            reject["code"] in wire_codes,
+            "solve-response.reject.code",
+            f"unknown reject code {reject['code']!r}",
+        )
+
+
+#: Reject codes minted by the HTTP layer itself (the request never reached
+#: the service, so they are not in ``repro.serve.request.REJECT_CODES``).
+_WIRE_ONLY_REJECT_CODES = (
+    "bad_json",
+    "missing_deadline",
+    "oversized",
+    "body_too_large",
+    "not_found",
+    "bad_method",
+)
 
 
 def validate_stream_document(document: Mapping[str, Any]) -> None:
@@ -1194,6 +1395,8 @@ _VALIDATORS = {
     TILE_SCHEMA: validate_tile_profile,
     PERF_SCHEMA: validate_perf_document,
     STREAM_SCHEMA: validate_stream_document,
+    SOLVE_REQUEST_SCHEMA: validate_solve_request,
+    SOLVE_RESPONSE_SCHEMA: validate_solve_response,
 }
 
 

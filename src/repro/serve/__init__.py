@@ -6,24 +6,41 @@ deadline-aware endpoint:
 * :class:`SolverService` — worker pool + bounded admission queue with typed
   backpressure; every submitted request terminates completed or
   typed-rejected, never lost.
+* :class:`WorkerPool` — N spawn-context worker *processes* (one service
+  stack each, sharded by shape) behind a supervisor that re-dispatches
+  in-flight work from dead workers and restarts them with backoff.
+* :class:`HttpFrontend` — stdlib HTTP server exposing ``/solve``,
+  ``/healthz``, ``/metrics``, and ``/stats`` over either of the above;
+  wire documents are schema-versioned (``repro.solve-request/1`` /
+  ``repro.solve-response/1``).
 * :class:`WarmEnginePool` — per-shape compiled engines leased to workers,
   LRU-evicted under a device-memory budget.
 * :class:`Router` / :class:`LatencyEstimator` — quality tiers, deadline-aware
-  preemptive degradation, and the engine → FastHA → scipy fallback ladder.
+  preemptive degradation, the engine → FastHA → scipy fallback ladder, and
+  the approximate (auction) terminal rung with certified gap bounds.
 * :mod:`repro.serve.loadgen` — seeded open/closed-loop load generation with
-  independent scipy verification.
-* :mod:`repro.serve.faults` — deterministic engine-fault injection for
-  exercising the degradation path.
+  independent scipy verification (gap-aware for the approximate tier).
+* :mod:`repro.serve.faults` — deterministic engine-fault injection,
+  including process-crash mode for the multi-process supervisor tests.
 
 See ``docs/serving.md`` for the architecture walkthrough.
 """
 
 from repro.serve.console import render_top, run_top
-from repro.serve.faults import FlakyEngineSolver, flaky_factory
+from repro.serve.faults import CRASH_EXIT_CODE, FlakyEngineSolver, flaky_factory
+from repro.serve.http import (
+    STATUS_OF_REJECT,
+    HttpClient,
+    HttpFrontend,
+    ServiceAdapter,
+)
 from repro.serve.loadgen import (
     LoadReport,
     WorkItem,
+    arrival_schedule,
     generate_workload,
+    plan_routes,
+    run_http_load,
     run_load,
 )
 from repro.serve.pool import DEFAULT_MEMORY_BUDGET, EngineLease, WarmEnginePool
@@ -40,19 +57,26 @@ from repro.serve.router import LatencyEstimator, RoutePlan, Router
 from repro.serve.service import SolverService
 from repro.serve.sessions import SessionStore
 from repro.serve.stats import latency_summary, percentile
+from repro.serve.workers import PoolTicket, WorkerPool, wire_response
 
 __all__ = [
+    "CRASH_EXIT_CODE",
     "DEFAULT_MEMORY_BUDGET",
     "EngineLease",
     "FlakyEngineSolver",
+    "HttpClient",
+    "HttpFrontend",
     "LatencyEstimator",
     "LoadReport",
+    "PoolTicket",
     "QUALITY_TIERS",
     "REJECT_CODES",
     "RejectReason",
     "RequestSpans",
     "RoutePlan",
     "Router",
+    "STATUS_OF_REJECT",
+    "ServiceAdapter",
     "SessionStore",
     "SolveRequest",
     "SolveResponse",
@@ -60,11 +84,16 @@ __all__ = [
     "Ticket",
     "WarmEnginePool",
     "WorkItem",
+    "WorkerPool",
+    "arrival_schedule",
     "flaky_factory",
     "generate_workload",
     "latency_summary",
     "percentile",
+    "plan_routes",
     "render_top",
+    "run_http_load",
     "run_load",
     "run_top",
+    "wire_response",
 ]

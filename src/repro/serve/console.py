@@ -133,6 +133,24 @@ def render_top(
         f"batching  batches {batching.get('batches', 0)}  "
         f"coalesced {batching.get('coalesced', 0)}"
     )
+
+    approx = document.get("approx", {})
+    if approx.get("responses"):
+        lines.append(
+            f"approx    responses {approx.get('responses', 0)}  "
+            f"mean-gap {approx.get('mean_gap_bound', 0.0):.3g}  "
+            f"max-gap {approx.get('max_gap_bound', 0.0):.3g}"
+        )
+
+    supervisor = document.get("supervisor", {})
+    if supervisor:
+        workers = supervisor.get("workers", {})
+        live = sum(1 for w in workers.values() if w.get("alive"))
+        lines.append(
+            f"workers   {live}/{len(workers)} live  "
+            f"restarts {supervisor.get('restarts', 0)}  "
+            f"redispatched {supervisor.get('redispatched', 0)}"
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -12,10 +12,18 @@ Failures are decided per engine *run*, so a request retried after a fault
 re-rolls; with ``failures_before_success`` the first N runs of every solver
 instance fail deterministically (handy for asserting the retry-then-recover
 path without probabilistic rates).
+
+The multi-process worker pool (:mod:`repro.serve.workers`) needs a harsher
+fault than an exception: a worker *process* dying mid-request.  The
+``crash_rate`` / ``crashes_before_success`` knobs make a fault kill the
+hosting process outright via ``os._exit`` (exit code
+:data:`CRASH_EXIT_CODE`) — no cleanup, no goodbye message — which is what
+the supervisor's re-dispatch and restart machinery is tested against.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -23,7 +31,11 @@ import numpy as np
 from repro.core.solver import HunIPUSolver
 from repro.errors import ExecutionError
 
-__all__ = ["FlakyEngineSolver", "flaky_factory"]
+__all__ = ["CRASH_EXIT_CODE", "FlakyEngineSolver", "flaky_factory"]
+
+#: Exit status of an injected process crash (distinctive on purpose, so a
+#: supervisor log line showing 86 reads as "injected", not "OOM killed").
+CRASH_EXIT_CODE = 86
 
 
 class FlakyEngineSolver(HunIPUSolver):
@@ -38,6 +50,14 @@ class FlakyEngineSolver(HunIPUSolver):
     failures_before_success:
         Deterministic alternative: the first N runs fail, the rest succeed.
         Applied in addition to ``failure_rate``.
+    crash_rate:
+        Probability that any engine run kills the hosting *process* with
+        ``os._exit(CRASH_EXIT_CODE)`` instead of raising.  Only meaningful
+        inside a :mod:`repro.serve.workers` worker process — crashing the
+        test process itself would be rude.
+    crashes_before_success:
+        Deterministic crash alternative: the first N runs of this solver
+        instance crash the process, the rest succeed.
     seed:
         Seed of the fault schedule.
     """
@@ -49,29 +69,56 @@ class FlakyEngineSolver(HunIPUSolver):
         *args,
         failure_rate: float = 0.0,
         failures_before_success: int = 0,
+        crash_rate: float = 0.0,
+        crashes_before_success: int = 0,
         seed: int = 0,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ValueError(f"crash_rate must be in [0, 1], got {crash_rate}")
         self.failure_rate = float(failure_rate)
         self.failures_before_success = int(failures_before_success)
+        self.crash_rate = float(crash_rate)
+        self.crashes_before_success = int(crashes_before_success)
         self._fault_rng = np.random.default_rng(seed)
         self._fault_lock = threading.Lock()
         self._runs = 0
         self.faults_injected = 0
+        self.crashes_injected = 0
 
-    def _run_engine(self, compiled, instance, **kwargs):
+    def _fault_decision(self) -> str:
+        """Roll the fault schedule for one run: "ok" | "raise" | "crash".
+
+        Factored out of :meth:`_run_engine` so the schedule itself is unit
+        testable without a process to kill.
+        """
         with self._fault_lock:
             self._runs += 1
-            fail = self._runs <= self.failures_before_success or (
+            if self._runs <= self.crashes_before_success or (
+                self.crash_rate > 0.0
+                and self._fault_rng.random() < self.crash_rate
+            ):
+                self.crashes_injected += 1
+                return "crash"
+            if self._runs <= self.failures_before_success or (
                 self.failure_rate > 0.0
                 and self._fault_rng.random() < self.failure_rate
-            )
-            if fail:
+            ):
                 self.faults_injected += 1
-        if fail:
+                return "raise"
+            return "ok"
+
+    def _run_engine(self, compiled, instance, **kwargs):
+        decision = self._fault_decision()
+        if decision == "crash":
+            # Simulated hard death of the worker process: no stack
+            # unwinding, no atexit, nothing — exactly what SIGKILL or a
+            # device wedge looks like from the supervisor's side.
+            os._exit(CRASH_EXIT_CODE)
+        if decision == "raise":
             raise ExecutionError(
                 f"injected engine fault (run {self._runs}, "
                 f"n={instance.size}, instance {instance.name!r})"
@@ -83,6 +130,8 @@ def flaky_factory(
     failure_rate: float = 0.0,
     *,
     failures_before_success: int = 0,
+    crash_rate: float = 0.0,
+    crashes_before_success: int = 0,
     seed: int = 0,
     **solver_kwargs,
 ):
@@ -102,6 +151,8 @@ def flaky_factory(
         return FlakyEngineSolver(
             failure_rate=failure_rate,
             failures_before_success=failures_before_success,
+            crash_rate=crash_rate,
+            crashes_before_success=crashes_before_success,
             seed=seed + index,
             **solver_kwargs,
         )

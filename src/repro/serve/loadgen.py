@@ -32,7 +32,15 @@ from repro.serve.request import SolveResponse
 from repro.serve.service import SolverService
 from repro.serve.stats import latency_summary
 
-__all__ = ["LoadReport", "WorkItem", "generate_workload", "run_load"]
+__all__ = [
+    "LoadReport",
+    "WorkItem",
+    "arrival_schedule",
+    "generate_workload",
+    "plan_routes",
+    "run_http_load",
+    "run_load",
+]
 
 #: Default shape mix: small/medium sizes with one repeat-heavy shape so the
 #: warm pool and micro-batching both get traffic.
@@ -141,6 +149,9 @@ class LoadReport:
     backends: dict[str, int]
     wall_seconds: float
     latency: dict
+    #: Approximate-tier summary: responses carrying a gap bound, plus the
+    #: mean/max of those bounds (zeros when no approximate traffic ran).
+    approx: dict = dataclasses.field(default_factory=dict)
     responses: tuple[SolveResponse, ...] = dataclasses.field(
         default=(), repr=False, compare=False
     )
@@ -167,25 +178,90 @@ class LoadReport:
             "wall_seconds": self.wall_seconds,
             "throughput_rps": self.throughput,
             "latency_seconds": self.latency,
+            "approx": dict(self.approx),
         }
 
 
 def _verify_response(item: WorkItem, response: SolveResponse) -> bool:
-    """Independently check a completed response against the scipy optimum."""
+    """Independently check a completed response against the scipy optimum.
+
+    Exact backends must match the optimum; approximate responses
+    (``gap_bound`` set) must achieve a cost within their own certified
+    bound — and never beat the optimum, which would mean the "assignment"
+    is not actually a permutation-cost.
+    """
     from scipy.optimize import linear_sum_assignment
 
     assert response.result is not None
     rows, cols = linear_sum_assignment(item.instance.costs)
     optimum = float(item.instance.costs[rows, cols].sum())
     tolerance = _VERIFY_ABS + _VERIFY_REL * abs(optimum)
-    if abs(response.result.total_cost - optimum) > tolerance:
+    excess = response.result.total_cost - optimum
+    if response.gap_bound is None:
+        if abs(excess) > tolerance:
+            return False
+    elif not (-tolerance <= excess <= response.gap_bound + tolerance):
         return False
     # The assignment itself must be a permutation achieving the claimed cost.
     assignment = np.asarray(response.result.assignment)
     if sorted(assignment.tolist()) != list(range(item.instance.size)):
         return False
     achieved = item.instance.total_cost(assignment)
-    return abs(achieved - optimum) <= tolerance
+    return abs(achieved - response.result.total_cost) <= tolerance
+
+
+def arrival_schedule(count: int, rate: float) -> list[float]:
+    """Deterministic open-loop arrival offsets (seconds from start).
+
+    Uniform spacing at ``rate`` requests/second — a pure function of its
+    arguments, so two runs with the same workload offer byte-identical
+    schedules (pinned by ``tests/serve/test_load.py``).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    interval = 1.0 / float(rate)
+    return [index * interval for index in range(count)]
+
+
+def plan_routes(
+    workload: Sequence[WorkItem], *, workers: int | None = None
+) -> list[dict]:
+    """The deterministic routing decisions for ``workload``.
+
+    For each item: the router's ladder on a cold estimator (no latency
+    history — what every fresh service starts from) and, when ``workers``
+    is given, the multi-process home shard (``size % workers``).  Used by
+    the load-determinism regression test: same seeded workload → same
+    decisions, run after run.
+    """
+    from repro.serve.router import Router
+
+    router = Router()
+    decisions = []
+    for item in workload:
+        plan = router.plan(_probe_request(item), frozenset(), 0.0)
+        decision = {
+            "tier": item.tier,
+            "size": item.instance.size,
+            "ladder": plan.ladder,
+            "engine_target": plan.engine_target,
+        }
+        if workers is not None:
+            decision["shard"] = item.instance.size % workers
+        decisions.append(decision)
+    return decisions
+
+
+def _probe_request(item: WorkItem):
+    """A real :class:`SolveRequest` frozen at submission time zero."""
+    from repro.serve.request import SolveRequest
+
+    return SolveRequest(
+        instance=item.instance,
+        tier=item.tier,
+        deadline_s=item.deadline_s,
+        submitted_at=0.0,
+    )
 
 
 def run_load(
@@ -197,6 +273,7 @@ def run_load(
     rate: float | None = None,
     verify: bool = True,
     response_timeout: float = 120.0,
+    submitters: int = 1,
 ) -> LoadReport:
     """Replay ``workload`` against ``service`` and account for every request.
 
@@ -204,10 +281,16 @@ def run_load(
     ----------
     mode:
         ``"closed"`` (``concurrency`` threads, submit-on-completion) or
-        ``"open"`` (fixed arrival ``rate`` per second, one submitter).
+        ``"open"`` (fixed arrival ``rate`` per second).
     verify:
         Re-check every completed response against scipy (independent of the
         service's own ``verify`` flag).
+    submitters:
+        Open-loop submitter threads.  One thread cannot *offer* thousands
+        of arrivals per second once the submit path itself costs tens of
+        microseconds; the schedule is pre-split round-robin across
+        ``submitters`` threads so high offered rates are genuinely offered
+        (the schedule itself — :func:`arrival_schedule` — is unchanged).
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -246,22 +329,36 @@ def run_load(
         for thread in threads:
             thread.join()
     else:
-        tickets = []
-        interval = 1.0 / float(rate)
-        for index, item in enumerate(workload):
-            target = started + index * interval
-            delay = target - monotonic()
-            if delay > 0:
-                sleep(delay)
-            tickets.append(
-                service.submit(
+        schedule = arrival_schedule(len(workload), float(rate))
+        tickets: list = [None] * len(workload)
+
+        def submitter(slot: int) -> None:
+            for index in range(slot, len(workload), max(1, submitters)):
+                item = workload[index]
+                delay = started + schedule[index] - monotonic()
+                if delay > 0:
+                    sleep(delay)
+                tickets[index] = service.submit(
                     item.instance,
                     tier=item.tier,
                     deadline_s=item.deadline_s,
                     session_id=item.session_id,
                 )
+
+        submit_threads = [
+            threading.Thread(
+                target=submitter, args=(slot,), name=f"loadgen-open-{slot}",
+                daemon=True,
             )
+            for slot in range(max(1, submitters))
+        ]
+        for thread in submit_threads:
+            thread.start()
+        for thread in submit_threads:
+            thread.join()
         for index, ticket in enumerate(tickets):
+            if ticket is None:
+                continue  # counted as lost below
             try:
                 responses[index] = ticket.response(response_timeout)
             except TimeoutError:
@@ -277,6 +374,7 @@ def run_load(
     rejected: dict[str, int] = {}
     backends: dict[str, int] = {}
     latencies: list[float] = []
+    gap_bounds: list[float] = []
     for item, response in zip(workload, responses):
         if response is None:
             lost += 1
@@ -290,6 +388,8 @@ def run_load(
                 degraded += 1
             if response.deadline_missed:
                 deadline_missed += 1
+            if response.gap_bound is not None:
+                gap_bounds.append(response.gap_bound)
             if verify and not _verify_response(item, response):
                 verify_failures += 1
         else:
@@ -308,5 +408,133 @@ def run_load(
         backends=dict(sorted(backends.items())),
         wall_seconds=wall_seconds,
         latency=latency_summary(latencies),
+        approx=_gap_summary(gap_bounds),
         responses=tuple(r for r in responses if r is not None),
     )
+
+
+def _gap_summary(gap_bounds: Sequence[float]) -> dict:
+    """Summary of the certified gap bounds observed in one load run."""
+    if not gap_bounds:
+        return {"responses": 0, "mean_gap_bound": 0.0, "max_gap_bound": 0.0}
+    return {
+        "responses": len(gap_bounds),
+        "mean_gap_bound": float(sum(gap_bounds) / len(gap_bounds)),
+        "max_gap_bound": float(max(gap_bounds)),
+    }
+
+
+def run_http_load(
+    url: str,
+    workload: Sequence[WorkItem],
+    *,
+    rate: float,
+    submitters: int = 16,
+    timeout: float = 120.0,
+    verify: bool = True,
+) -> dict:
+    """Open-loop load over the HTTP front-end; returns a JSON-ready report.
+
+    Each submitter thread owns a round-robin slice of the deterministic
+    :func:`arrival_schedule` and POSTs ``/solve`` synchronously (stdlib
+    ``urllib``, one request in flight per thread — ``submitters`` bounds
+    the client-side concurrency).  The report carries the numbers the
+    serve benchmark's committed trajectory is made of: offered vs achieved
+    rate, shed (typed-429) fraction, client-observed p50/p99, and the
+    per-tier certified-gap summary.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    from repro.serve.http import HttpClient
+
+    schedule = arrival_schedule(len(workload), rate)
+    outcomes: list[tuple[int, dict, float] | None] = [None] * len(workload)
+    client = HttpClient(url, timeout=timeout)
+    started = monotonic()
+
+    def submitter(slot: int) -> None:
+        for index in range(slot, len(workload), max(1, submitters)):
+            item = workload[index]
+            delay = started + schedule[index] - monotonic()
+            if delay > 0:
+                sleep(delay)
+            sent = monotonic()
+            try:
+                status, document = client.solve(
+                    item.instance.costs,
+                    tier=item.tier,
+                    deadline_s=item.deadline_s,
+                    session_id=item.session_id,
+                    name=item.instance.name,
+                )
+            except Exception:  # noqa: BLE001 - a lost reply is "lost"
+                continue
+            outcomes[index] = (status, document, monotonic() - sent)
+
+    threads = [
+        threading.Thread(
+            target=submitter, args=(slot,), name=f"httpload-{slot}", daemon=True
+        )
+        for slot in range(max(1, submitters))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = monotonic() - started
+
+    completed = 0
+    lost = 0
+    verify_failures = 0
+    rejected: dict[str, int] = {}
+    backends: dict[str, int] = {}
+    statuses: dict[str, int] = {}
+    latencies: list[float] = []
+    gap_by_tier: dict[str, list[float]] = {}
+    for item, outcome in zip(workload, outcomes):
+        if outcome is None:
+            lost += 1
+            continue
+        status, document, latency = outcome
+        statuses[str(status)] = statuses.get(str(status), 0) + 1
+        if document.get("status") == "completed":
+            completed += 1
+            latencies.append(latency)
+            backend = document.get("backend") or "unknown"
+            backends[backend] = backends.get(backend, 0) + 1
+            gap = document.get("gap_bound")
+            if gap is not None:
+                gap_by_tier.setdefault(document.get("tier", "?"), []).append(
+                    float(gap)
+                )
+            if verify:
+                rows, cols = linear_sum_assignment(item.instance.costs)
+                optimum = float(item.instance.costs[rows, cols].sum())
+                tolerance = _VERIFY_ABS + _VERIFY_REL * abs(optimum)
+                excess = float(document["total_cost"]) - optimum
+                bound = tolerance if gap is None else float(gap) + tolerance
+                if not (-tolerance <= excess <= bound):
+                    verify_failures += 1
+        else:
+            code = document.get("reject", {}).get("code", "unknown")
+            rejected[code] = rejected.get(code, 0) + 1
+    shed = rejected.get("queue_full", 0)
+    return {
+        "offered_rps": rate,
+        "achieved_rps": completed / wall_seconds if wall_seconds > 0 else 0.0,
+        "submitted": len(workload),
+        "completed": completed,
+        "rejected": dict(sorted(rejected.items())),
+        "shed": shed,
+        "shed_rate": shed / len(workload) if workload else 0.0,
+        "lost": lost,
+        "verify_failures": verify_failures,
+        "backends": dict(sorted(backends.items())),
+        "http_statuses": dict(sorted(statuses.items())),
+        "wall_seconds": wall_seconds,
+        "latency_seconds": latency_summary(latencies),
+        "gap_by_tier": {
+            tier: _gap_summary(bounds)
+            for tier, bounds in sorted(gap_by_tier.items())
+        },
+    }

@@ -47,9 +47,17 @@ __all__ = [
 #:     preemptively when it does not.
 #: ``"fast"``
 #:     Latency-first: straight to the scipy backend, no device model.
-QUALITY_TIERS = ("ipu", "auto", "fast")
+#: ``"approx"``
+#:     Deadline-first: the seeded auction solver
+#:     (:func:`repro.lap.approx.solve_auction`), which trades exactness for
+#:     speed and reports a certified optimality-gap bound on every
+#:     response (``SolveResponse.gap_bound``).
+QUALITY_TIERS = ("ipu", "auto", "fast", "approx")
 
 #: Closed set of typed rejection codes (the stats export groups by these).
+#: ``worker_lost`` is the multi-process pool's code: the owning worker
+#: process died mid-request and the re-dispatch budget ran out (or no live
+#: worker was available to take the request).
 REJECT_CODES = (
     "queue_full",
     "deadline_expired",
@@ -57,6 +65,7 @@ REJECT_CODES = (
     "shutdown",
     "invalid",
     "internal_error",
+    "worker_lost",
 )
 
 
@@ -148,6 +157,10 @@ class SolveResponse:
     latency_s: float = 0.0
     deadline_missed: bool = False  # completed, but after its deadline
     correlation_id: str = ""  # mirrors the request's span/log correlation id
+    #: Certified optimality-gap ceiling for approximate-tier results:
+    #: ``total_cost - OPT <= gap_bound`` (0.0 = certified exact).  ``None``
+    #: for exact backends, which are bit-identical to the scipy optimum.
+    gap_bound: float | None = None
 
     def __post_init__(self) -> None:
         if self.status not in ("completed", "rejected"):
@@ -256,5 +269,6 @@ def extra_of(response: SolveResponse) -> dict[str, Any]:
         "degraded": response.degraded,
         "retries": response.retries,
         "latency_s": response.latency_s,
+        "gap_bound": response.gap_bound,
         "reject": None if response.reject is None else response.reject.code,
     }

@@ -4,13 +4,14 @@ Every request declares a quality tier (:data:`repro.serve.request.QUALITY_TIERS`
 and optionally a deadline; the router turns that into a **backend ladder** —
 an ordered tuple of backends to try:
 
-========  =============================================
-tier      ladder
-========  =============================================
-``ipu``   ``hunipu`` → ``scipy``
-``auto``  ``hunipu`` → ``fastha`` → ``scipy``
-``fast``  ``scipy``
-========  =============================================
+==========  =============================================
+tier        ladder
+==========  =============================================
+``ipu``     ``hunipu`` → ``scipy``
+``auto``    ``hunipu`` → ``fastha`` → ``scipy``
+``fast``    ``scipy``
+``approx``  ``approx`` → ``scipy``
+==========  =============================================
 
 Two mechanisms move a request *down* its ladder, and both flag the response
 ``degraded`` (results are never silently dropped or silently re-routed):
@@ -24,11 +25,15 @@ Two mechanisms move a request *down* its ladder, and both flag the response
   exponential backoff, then descends the ladder
   (``fallback_reason="engine_error"``).
 
-All backends are exact LSAP solvers; "degraded" means the request was not
-served by the backend its tier asked for (losing the IPU device model and
-its latency/throughput characteristics), not that the assignment is
-suboptimal — every result is still the true optimum, which is what lets the
-load tests verify 100% of responses against ``scipy_reference``.
+The exact backends (``hunipu``, ``fastha``, ``scipy``) always return the
+true optimum; "degraded" means the request was not served by the backend
+its tier asked for.  The **approximate** backend
+(:func:`repro.lap.approx.solve_auction`) is the final degradation rung: when
+the latency estimator predicts that even the fastest *exact* tier will miss
+the request's deadline, the router routes to the auction solver, whose
+response carries a certified optimality-gap bound
+(``SolveResponse.gap_bound``) — the load tests verify every response either
+matches the scipy optimum exactly or stays within its reported bound.
 
 The router also picks the engine **target shape**: a request may ride a
 warm engine of a slightly larger size (the batch engine's padding policy,
@@ -48,12 +53,16 @@ __all__ = ["LatencyEstimator", "RoutePlan", "Router"]
 logger = logging.getLogger(__name__)
 
 #: Backend identifiers (also the keys of the stats export's breakdown).
-BACKENDS = ("hunipu", "fastha", "scipy")
+BACKENDS = ("hunipu", "fastha", "scipy", "approx")
 
 _LADDERS = {
     "ipu": ("hunipu", "scipy"),
     "auto": ("hunipu", "fastha", "scipy"),
     "fast": ("scipy",),
+    # The approximate tier still keeps the scipy oracle as a fault
+    # backstop — the auction solver is not expected to raise, but every
+    # ladder ends in a leg that cannot.
+    "approx": ("approx", "scipy"),
 }
 
 
@@ -200,9 +209,14 @@ class Router:
                 ladder=ladder, engine_target=engine_target, estimate_s=estimate
             )
         # The engine can't make the deadline: degrade preemptively.  Drop
-        # ladder legs whose estimate also exceeds the budget, but always
-        # keep the final leg as the backstop.
+        # ladder legs whose estimate also exceeds the budget.  The
+        # approximate tier is appended as the terminal deadline rung, so a
+        # request whose budget is too small for *every* exact tier lands on
+        # the auction solver (bounded suboptimality, reported gap) instead
+        # of blowing its deadline on an exact solve it asked us to avoid.
         trimmed = list(ladder[1:])
+        if "approx" not in trimmed:
+            trimmed.append("approx")
         logger.info(
             "preemptive degradation for request %d: engine estimate %.4fs "
             "exceeds remaining budget %.4fs",

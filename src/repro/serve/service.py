@@ -47,6 +47,7 @@ from repro.baselines.fastha import FastHASolver
 from repro.baselines.scipy_reference import ScipySolver
 from repro.batch.solver import BatchSolver
 from repro.errors import ExecutionError, InvalidProblemError, ReproError, SolverError
+from repro.lap.approx import solve_auction
 from repro.lap.problem import LAPInstance
 from repro.lap.result import AssignmentResult
 from repro.obs.export import SERVE_SCHEMA
@@ -71,6 +72,28 @@ logger = logging.getLogger(__name__)
 #: library's differential tests).
 _VERIFY_ABS = 1e-6
 _VERIFY_REL = 1e-9
+
+
+def _approx_block(
+    counts: dict[str, int], gap_sums: dict[str, float], gap_max: float
+) -> dict:
+    """The ``approx`` block of the ``repro.serve/1`` stats document."""
+    responses = sum(counts.values())
+    gap_total = sum(gap_sums.values())
+    return {
+        "responses": responses,
+        "mean_gap_bound": gap_total / responses if responses else 0.0,
+        "max_gap_bound": gap_max,
+        "by_tier": {
+            tier: {
+                "responses": counts[tier],
+                "mean_gap_bound": (
+                    gap_sums.get(tier, 0.0) / counts[tier] if counts[tier] else 0.0
+                ),
+            }
+            for tier in sorted(counts)
+        },
+    }
 
 
 class SolverService:
@@ -116,6 +139,11 @@ class SolverService:
         engine-bound requests carrying a ``session_id`` skip micro-batching
         and run through the solver's warm-start path, seeded from the
         session's previous solve (see ``docs/serving.md``).
+    approx_seed:
+        Seed of the approximate tier's auction bidding order
+        (:func:`repro.lap.approx.solve_auction`); a fixed seed keeps
+        approximate responses bit-identical across service restarts for
+        the same instance.
     """
 
     def __init__(
@@ -133,6 +161,7 @@ class SolverService:
         metrics: MetricsRegistry | None = None,
         spans: NullSpanTracer = NULL_SPANS,
         sessions: SessionStore | None = None,
+        approx_seed: int = 0,
     ) -> None:
         if workers < 1:
             raise SolverError(f"workers must be >= 1, got {workers}")
@@ -151,6 +180,7 @@ class SolverService:
         self.verify = verify
         self.spans = spans
         self.sessions = sessions
+        self.approx_seed = int(approx_seed)
         self.max_batch = int(max_batch)
         self.batch_window_s = float(batch_window_s)
         self.queue_capacity = int(queue_capacity)
@@ -173,6 +203,11 @@ class SolverService:
         self._backends: dict[str, int] = {}
         self._tiers: dict[str, int] = {}
         self._fallbacks = {"engine_error": 0, "deadline": 0, "retries": 0}
+        # Approximate-tier accounting: per-tier response counts and the
+        # reported gap-bound mass (for the mean/max in the stats export).
+        self._approx_counts: dict[str, int] = {}
+        self._approx_gap_sum: dict[str, float] = {}
+        self._approx_gap_max = 0.0
         self._batches = 0
         self._coalesced = 0
         self._latencies: list[float] = []
@@ -649,6 +684,10 @@ class SolverService:
                             )
                         elif backend == "fastha":
                             result = self._fastha_solve(request.instance)
+                        elif backend == "approx":
+                            result = solve_auction(
+                                request.instance, seed=self.approx_seed
+                            )
                         else:
                             result = self._scipy.solve(request.instance)
                 except ReproError as exc:
@@ -756,6 +795,9 @@ class SolverService:
         request = ticket.request
         if fallback_reason is None and plan.preempted:
             fallback_reason = "deadline"
+        gap_bound: float | None = None
+        if backend == "approx":
+            gap_bound = float(result.stats.get("gap_bound", 0.0))
         if self.verify:
             verify_span = None
             if self.spans.enabled and ticket.spans.execute is not None:
@@ -764,7 +806,9 @@ class SolverService:
                     correlation_id=request.correlation_id,
                     parent=ticket.spans.execute,
                 )
-            verified = self._verified(request.instance, result)
+            verified = self._verified(
+                request.instance, result, gap_bound=gap_bound
+            )
             if verify_span is not None:
                 self.spans.end(verify_span, "ok" if verified else "error")
             if not verified:
@@ -795,6 +839,7 @@ class SolverService:
             latency_s=latency,
             deadline_missed=deadline_missed,
             correlation_id=request.correlation_id,
+            gap_bound=gap_bound,
         )
         if not ticket._resolve(response):
             return  # already terminally resolved (e.g. raced cancellation)
@@ -810,8 +855,25 @@ class SolverService:
                 )
             if deadline_missed:
                 self._deadline_missed += 1
+            if gap_bound is not None:
+                tier = request.tier
+                self._approx_counts[tier] = self._approx_counts.get(tier, 0) + 1
+                self._approx_gap_sum[tier] = (
+                    self._approx_gap_sum.get(tier, 0.0) + gap_bound
+                )
+                self._approx_gap_max = max(self._approx_gap_max, gap_bound)
             self._latencies.append(latency)
         self.metrics.counter("serve.completed", "requests completed").inc()
+        if gap_bound is not None:
+            self.metrics.counter(
+                "serve.approx.responses",
+                "requests answered by the approximate (auction) backend",
+            ).inc()
+            self.metrics.histogram(
+                "serve.approx.gap_bound",
+                "certified optimality-gap bound of approximate responses",
+                buckets=(0.0, 1e-6, 1e-3, 0.1, 1.0, 10.0, 100.0),
+            ).observe(gap_bound)
         if degraded:
             self.metrics.counter(
                 "serve.fallbacks", "requests served by a fallback backend"
@@ -829,6 +891,8 @@ class SolverService:
                 spans.execute.set(
                     backend=backend, batched=batched, retries=retries
                 )
+                if gap_bound is not None:
+                    spans.execute.set(gap_bound=gap_bound)
                 self.spans.end(spans.execute)
             if spans.root is not None:
                 spans.root.set(
@@ -837,13 +901,29 @@ class SolverService:
                 self.spans.end(spans.root, "ok")
 
     @staticmethod
-    def _verified(instance: LAPInstance, result: AssignmentResult) -> bool:
+    def _verified(
+        instance: LAPInstance,
+        result: AssignmentResult,
+        *,
+        gap_bound: float | None = None,
+    ) -> bool:
+        """Check ``result`` against the scipy oracle.
+
+        Exact backends (``gap_bound is None``) must match the optimum to
+        within float tolerance.  Approximate results must not *beat* the
+        optimum and must stay within their own certified gap bound —
+        verification failing here means the certificate lied, which the
+        property suite treats as a hard bug.
+        """
         from scipy.optimize import linear_sum_assignment
 
         rows, cols = linear_sum_assignment(instance.costs)
         optimum = float(instance.costs[rows, cols].sum())
         tolerance = _VERIFY_ABS + _VERIFY_REL * abs(optimum)
-        return abs(result.total_cost - optimum) <= tolerance
+        if gap_bound is None:
+            return abs(result.total_cost - optimum) <= tolerance
+        excess = result.total_cost - optimum
+        return -tolerance <= excess <= gap_bound + tolerance
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -890,6 +970,9 @@ class SolverService:
                 "backends": dict(sorted(self._backends.items())),
                 "tiers": dict(sorted(self._tiers.items())),
                 "fallbacks": dict(self._fallbacks),
+                "approx_counts": dict(sorted(self._approx_counts.items())),
+                "approx_gap_sum": dict(sorted(self._approx_gap_sum.items())),
+                "approx_gap_max": self._approx_gap_max,
                 "batches": self._batches,
                 "coalesced": self._coalesced,
                 "peak_queue_depth": self._peak_queue_depth,
@@ -931,6 +1014,11 @@ class SolverService:
             },
             "pool": self.pool.stats(),
             "estimator": self.router.estimator.snapshot(),
+            "approx": _approx_block(
+                snapshot["approx_counts"],
+                snapshot["approx_gap_sum"],
+                snapshot["approx_gap_max"],
+            ),
         }
         if self.sessions is not None:
             document["sessions"] = self.sessions.stats()

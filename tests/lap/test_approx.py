@@ -1,0 +1,139 @@
+"""Property suite for the certified-gap auction solver.
+
+The approximate tier's contract is a *bound*, not a promise of optimality:
+whatever assignment the auction returns, its cost must never exceed the
+scipy optimum by more than the reported ``gap_bound``.  Hypothesis
+randomizes sizes, seeds, and cost distributions; the properties here are
+the ones the serving layer's gap-aware verification leans on:
+
+* certificate soundness — ``cost ≤ OPT + gap_bound`` always, even when the
+  bid budget is exhausted and the matching is finished greedily;
+* exactness on convergence — integer matrices converged at ``ε < 1/n``
+  report ``gap_bound == 0.0`` exactly and match the optimum;
+* determinism — one ``(instance, seed)`` pair is bit-identical across
+  runs: same assignment, same cost, same bound, same stats.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.lap import APPROX_SOLVER_NAME, solve_auction
+from repro.lap.problem import LAPInstance
+
+_sizes = st.integers(1, 12)
+_seeds = st.integers(0, 10_000)
+_REL = 1e-9
+_ABS = 1e-9
+
+
+def _optimal(costs: np.ndarray) -> float:
+    rows, cols = linear_sum_assignment(costs)
+    return float(costs[rows, cols].sum())
+
+
+def _float_costs(size: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 100.0, (size, size))
+
+
+def _int_costs(size: int, seed: int) -> np.ndarray:
+    raw = np.random.default_rng(seed).integers(0, 50, (size, size))
+    return raw.astype(np.float64)
+
+
+def _check_certificate(costs: np.ndarray, result) -> None:
+    """The one inequality everything rests on: cost ≤ OPT + gap_bound."""
+    optimum = _optimal(costs)
+    gap = float(result.stats["gap_bound"])
+    tolerance = _ABS + _REL * abs(optimum)
+    assert gap >= 0.0
+    # The assignment is a real permutation and the cost is its true cost.
+    assert sorted(result.assignment.tolist()) == list(range(costs.shape[0]))
+    achieved = float(costs[np.arange(costs.shape[0]), result.assignment].sum())
+    assert result.total_cost == pytest.approx(achieved, rel=_REL, abs=_ABS)
+    # Certificate soundness (two-sided: never better than the optimum).
+    assert -tolerance <= result.total_cost - optimum <= gap + tolerance
+    # The lower bound in the stats is the same certificate, restated.
+    assert result.stats["lower_bound"] <= optimum + tolerance
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=_sizes, seed=_seeds, order_seed=_seeds)
+def test_gap_bound_is_sound_on_float_costs(size, seed, order_seed):
+    costs = _float_costs(size, seed)
+    result = solve_auction(LAPInstance(costs), seed=order_seed)
+    assert result.solver == APPROX_SOLVER_NAME
+    _check_certificate(costs, result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=_sizes, seed=_seeds, order_seed=_seeds)
+def test_integer_costs_converge_to_exact_zero_gap(size, seed, order_seed):
+    costs = _int_costs(size, seed)
+    result = solve_auction(LAPInstance(costs), seed=order_seed)
+    assert result.stats["converged"] is True
+    assert result.stats["exact"] is True
+    # Bitwise zero, not approximately zero: Bertsekas' integer theorem.
+    assert result.stats["gap_bound"] == 0.0
+    assert result.total_cost == pytest.approx(_optimal(costs), rel=_REL)
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=_sizes, seed=_seeds, order_seed=_seeds)
+def test_seeded_runs_are_bit_identical(size, seed, order_seed):
+    costs = _float_costs(size, seed)
+    first = solve_auction(LAPInstance(costs), seed=order_seed)
+    second = solve_auction(LAPInstance(costs.copy()), seed=order_seed)
+    assert np.array_equal(first.assignment, second.assignment)
+    assert first.total_cost == second.total_cost  # bitwise, no tolerance
+    assert first.stats["gap_bound"] == second.stats["gap_bound"]
+    assert first.stats["lower_bound"] == second.stats["lower_bound"]
+    for key in ("rounds", "bids", "eps_final", "converged", "exact", "seed"):
+        assert first.stats[key] == second.stats[key]
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=st.integers(2, 12), seed=_seeds, order_seed=_seeds)
+def test_exhausted_bid_budget_keeps_certificate_valid(size, seed, order_seed):
+    """Starving the auction widens the bound but never invalidates it."""
+    costs = _float_costs(size, seed)
+    result = solve_auction(
+        LAPInstance(costs), seed=order_seed, max_bids_per_round=1
+    )
+    _check_certificate(costs, result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=_sizes, seed=_seeds, order_seed=_seeds)
+def test_different_seeds_share_the_certificate(size, seed, order_seed):
+    """Any seed's result must satisfy the same soundness inequality."""
+    costs = _float_costs(size, seed)
+    result = solve_auction(LAPInstance(costs), seed=order_seed + 1)
+    _check_certificate(costs, result)
+
+
+def test_constant_matrix_shortcut_is_exact():
+    """Zero spread: every assignment is optimal, gap must be exactly 0."""
+    costs = np.full((6, 6), 7.5)
+    result = solve_auction(LAPInstance(costs), seed=3)
+    assert result.stats["gap_bound"] == 0.0
+    assert result.stats["exact"] is True
+    assert result.total_cost == pytest.approx(6 * 7.5)
+
+
+def test_single_element_matrix():
+    result = solve_auction(LAPInstance(np.asarray([[4.25]])), seed=0)
+    assert result.assignment.tolist() == [0]
+    assert result.total_cost == 4.25
+    assert result.stats["gap_bound"] == 0.0
+
+
+def test_gap_bound_equals_cost_minus_lower_bound():
+    """The stats are internally consistent: bound = cost − dual bound."""
+    costs = _float_costs(9, seed=17)
+    result = solve_auction(LAPInstance(costs), seed=5)
+    assert result.stats["gap_bound"] == pytest.approx(
+        result.total_cost - result.stats["lower_bound"], rel=1e-12, abs=1e-9
+    )

@@ -17,8 +17,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serve import (
     SolverService,
     WarmEnginePool,
+    arrival_schedule,
     flaky_factory,
     generate_workload,
+    plan_routes,
     run_load,
 )
 
@@ -114,3 +116,52 @@ class TestOpenLoop:
         assert report.completed + sum(report.rejected.values()) == len(workload)
         document = service.stats_document()
         validate_document(document)
+
+
+class TestLoadDeterminism:
+    """Seeded load runs must offer identical schedules and routes.
+
+    The open-loop driver and the benchmark's committed trajectories lean
+    on this: re-running a seeded workload must present byte-identical
+    arrival times *and* identical routing decisions (ladder, engine
+    target, multi-process shard) — otherwise two benchmark runs are not
+    comparing the same experiment.
+    """
+
+    def test_arrival_schedule_is_pure(self):
+        first = arrival_schedule(50, 120.0)
+        second = arrival_schedule(50, 120.0)
+        assert first == second  # bitwise float equality, not approx
+        assert first[0] == 0.0
+        assert all(b > a for a, b in zip(first, first[1:]))
+        deltas = {round(b - a, 12) for a, b in zip(first, first[1:])}
+        assert len(deltas) == 1  # uniform spacing
+
+    def test_arrival_schedule_rejects_bad_rate(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            arrival_schedule(10, 0.0)
+
+    def test_routing_decisions_are_identical_across_seeded_runs(self):
+        tiers = {"auto": 0.5, "ipu": 0.2, "fast": 0.15, "approx": 0.15}
+        first = generate_workload(
+            40, seed=99, shapes=_SHAPES, tier_weights=tiers
+        )
+        second = generate_workload(
+            40, seed=99, shapes=_SHAPES, tier_weights=tiers
+        )
+        routes_a = plan_routes(first, workers=2)
+        routes_b = plan_routes(second, workers=2)
+        assert routes_a == routes_b
+        # The decisions carry everything the run depends on.
+        for decision in routes_a:
+            assert set(decision) == {
+                "tier", "size", "ladder", "engine_target", "shard",
+            }
+            assert decision["shard"] == decision["size"] % 2
+
+    def test_different_seed_changes_the_plan(self):
+        base = plan_routes(generate_workload(40, seed=1, shapes=_SHAPES))
+        other = plan_routes(generate_workload(40, seed=2, shapes=_SHAPES))
+        assert base != other  # seeds matter — no accidental constants

@@ -114,7 +114,9 @@ class TestPreemptiveDegradation:
         plan = router.plan(_request(deadline_s=0.01), frozenset(), 0.0)
         assert plan.preempted
         assert plan.backend != "hunipu"
-        assert plan.ladder[-1] == "scipy"
+        # The approximate tier is the terminal deadline rung.
+        assert plan.ladder[-1] == "approx"
+        assert "scipy" in plan.ladder
 
     def test_fast_enough_engine_is_kept(self):
         router = Router()
@@ -152,4 +154,22 @@ class TestPreemptiveDegradation:
         router.estimator.observe("fastha", 8, 1.0)
         plan = router.plan(_request(deadline_s=0.01), frozenset(), 0.0)
         assert plan.preempted
-        assert plan.ladder == ("scipy",)
+        assert plan.ladder == ("scipy", "approx")
+
+    def test_deadline_descent_lands_on_approx_when_all_exact_slow(self):
+        # Every exact tier predicted over budget: the ladder collapses to
+        # the auction rung (plus nothing else — scipy was trimmed too).
+        router = Router()
+        router.estimator.observe("hunipu", 8, 1.0)
+        router.estimator.observe("fastha", 8, 1.0)
+        router.estimator.observe("scipy", 8, 1.0)
+        plan = router.plan(_request(deadline_s=0.01), frozenset(), 0.0)
+        assert plan.preempted
+        assert plan.ladder == ("approx",)
+
+    def test_approx_tier_routes_to_auction_head(self):
+        router = Router()
+        plan = router.plan(_request(tier="approx"), frozenset(), 0.0)
+        assert plan.backend == "approx"
+        assert plan.ladder == ("approx", "scipy")
+        assert not plan.preempted

@@ -236,7 +236,9 @@ class TestDegradation:
 
     def test_verification_failure_is_never_silent(self, monkeypatch):
         monkeypatch.setattr(
-            ServiceClass, "_verified", staticmethod(lambda instance, result: False)
+            ServiceClass,
+            "_verified",
+            staticmethod(lambda instance, result, **kwargs: False),
         )
         with SolverService(workers=1, verify=True) as service:
             response = service.solve(_instance(), timeout=60.0)
