@@ -10,6 +10,7 @@ from repro.bench.recording import (
     environment_summary,
     save_bench_json,
 )
+from repro.bench.multi import run_multi, run_multi_bench
 from repro.bench.serve import run_serve_bench
 from repro.bench.stream import run_stream, run_stream_bench
 from repro.bench.table1 import run_table1
@@ -27,6 +28,8 @@ __all__ = [
     "RunRecord",
     "environment_summary",
     "save_bench_json",
+    "run_multi",
+    "run_multi_bench",
     "run_serve_bench",
     "run_stream",
     "run_stream_bench",

@@ -1,0 +1,217 @@
+"""Multi-IPU scaling benchmark — sharded solving over 1/2/4 chips.
+
+Sweeps the HunIPU solver over a grid of problem sizes and cluster widths
+(one, two, and four chips behind IPU-Links) and records, per run, the BSP
+phase split plus the *inter-IPU overhead*: the external sync barriers, the
+per-transfer link latency, and the cross-chip byte time that a single chip
+never pays.  Small instances are dominated by that overhead (every global
+reduce crosses the links no matter how little work each chip holds); as
+``n`` grows the per-chip compute grows faster, and the **crossover point**
+— the smallest ``n`` where compute overtakes the inter-IPU overhead — is
+where sharding starts to make sense.  The committed artifact
+(``benchmarks/results/BENCH_multi.json``) is the schema-versioned
+``repro.multi/1`` document carrying the full curve and that crossover.
+
+Chips are scaled down (fewer tiles than a real Mk2, same clock/fabric/link
+parameters) so the simulation stays fast; the overhead *ratios* the curve
+exists to show are driven by the published link numbers either way.
+
+Every row's solve is checked against the scipy oracle, and the sharded
+graphs run under the same strict ``repro.check`` audit as the single-chip
+ones (the differential tests additionally pin bit-identity between the two
+paths).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, format_grid
+from repro.bench.recording import BenchScale, RunRecord
+from repro.core.solver import HunIPUSolver
+from repro.ipu.cluster import ClusterSpec
+from repro.ipu.spec import IPUSpec
+from repro.lap.problem import LAPInstance
+from repro.obs.export import MULTI_SCHEMA
+
+__all__ = ["run_multi", "run_multi_bench", "CLUSTER_WIDTHS"]
+
+#: Cluster widths the scaling curve sweeps.
+CLUSTER_WIDTHS = (1, 2, 4)
+
+#: (tiles per chip, problem sizes) per scale.  Sizes must be divisible by
+#: every cluster width so the chip-aligned sharding engages.
+_GRID = {
+    "quick": (8, (16, 32, 64)),
+    "default": (16, (32, 64, 128)),
+    "paper": (64, (64, 128, 256, 512)),
+}
+
+
+def _chip_spec(num_tiles: int) -> IPUSpec:
+    """A Mk2-parameterized chip scaled down to ``num_tiles`` tiles."""
+    return dataclasses.replace(IPUSpec.mk2(), num_tiles=num_tiles)
+
+
+def _system_spec(chip: IPUSpec, num_ipus: int) -> IPUSpec:
+    """The flat system spec for ``num_ipus`` chips (the chip itself for 1)."""
+    if num_ipus == 1:
+        return chip
+    return ClusterSpec(chip=chip, num_ipus=num_ipus).system()
+
+
+def _inter_overhead_seconds(spec: IPUSpec, report) -> float:
+    """Modeled seconds the run spent being a cluster instead of one chip.
+
+    External sync barriers plus per-transfer link latency (both paid once
+    per cross-chip superstep) plus the cross-chip byte time at IPU-Link
+    bandwidth.  Slightly conservative — the byte time can overlap the
+    on-chip exchange — which only moves the crossover later, never earlier.
+    """
+    return (
+        report.inter_ipu_syncs
+        * (spec.inter_ipu_sync_extra_seconds() + spec.inter_ipu_latency_s)
+        + report.inter_ipu_bytes / spec.inter_ipu_bandwidth_bytes_per_s
+    )
+
+
+def run_multi(
+    scale: BenchScale | None = None, *, seed: int = 0
+) -> tuple[ExperimentResult, dict]:
+    """Run the scaling sweep; returns (report, ``repro.multi/1`` doc)."""
+    from scipy.optimize import linear_sum_assignment
+
+    scale = scale if scale is not None else BenchScale.from_env()
+    chip_tiles, sizes = _GRID[scale.name]
+    chip = _chip_spec(chip_tiles)
+    rng = np.random.default_rng(seed)
+
+    instances = {
+        size: LAPInstance(
+            rng.random((size, size)), name=f"multi-n{size}"
+        )
+        for size in sizes
+    }
+    oracle = {}
+    for size, instance in instances.items():
+        ri, ci = linear_sum_assignment(instance.costs)
+        oracle[size] = float(instance.costs[ri, ci].sum())
+
+    rows: list[dict] = []
+    device_by: dict[tuple[int, int], float] = {}
+    for num_ipus in CLUSTER_WIDTHS:
+        spec = _system_spec(chip, num_ipus)
+        solver = HunIPUSolver(spec=spec)
+        for size in sizes:
+            result = solver.solve(instances[size])
+            report = result.stats["profile"]
+            phases = report.phase_seconds
+            inter_overhead = _inter_overhead_seconds(spec, report)
+            optimum = oracle[size]
+            device_by[(num_ipus, size)] = report.device_seconds
+            rows.append(
+                {
+                    "ipus": num_ipus,
+                    "size": size,
+                    "supersteps": report.supersteps,
+                    "device_seconds": report.device_seconds,
+                    "compute_seconds": phases["compute"],
+                    "sync_seconds": phases["sync"],
+                    "exchange_seconds": phases["exchange"],
+                    "inter_ipu_bytes": report.inter_ipu_bytes,
+                    "inter_ipu_syncs": report.inter_ipu_syncs,
+                    "inter_overhead_seconds": inter_overhead,
+                    "total_cost": result.total_cost,
+                    "optimal": bool(
+                        abs(result.total_cost - optimum)
+                        <= 1e-9 + 1e-9 * abs(optimum)
+                    ),
+                }
+            )
+
+    # Crossover: per cluster width, the smallest n where per-superstep
+    # compute outweighs the inter-IPU overhead.  None means every measured
+    # size is still overhead-bound (shard bigger instances).
+    crossover: dict[str, int | None] = {}
+    for num_ipus in CLUSTER_WIDTHS:
+        if num_ipus == 1:
+            continue
+        found = None
+        for row in rows:
+            if row["ipus"] != num_ipus:
+                continue
+            if row["compute_seconds"] > row["inter_overhead_seconds"]:
+                found = row["size"]
+                break
+        crossover[str(num_ipus)] = found
+
+    document = {
+        "schema": MULTI_SCHEMA,
+        "meta": {
+            "scale": scale.name,
+            "chip_tiles": chip_tiles,
+            "ipus": list(CLUSTER_WIDTHS),
+            "sizes": list(sizes),
+            "seed": seed,
+            "link_bandwidth_bytes_per_s": chip.inter_ipu_bandwidth_bytes_per_s,
+            "link_latency_s": chip.inter_ipu_latency_s,
+            "inter_ipu_sync_cycles": chip.inter_ipu_sync_cycles,
+        },
+        "rows": rows,
+        "crossover": crossover,
+    }
+
+    records = tuple(
+        RunRecord(
+            "multi",
+            "hunipu",
+            {"ipus": row["ipus"], "size": row["size"],
+             "chip_tiles": chip_tiles},
+            row["device_seconds"],
+            0.0,
+            extra={
+                "supersteps": row["supersteps"],
+                "inter_ipu_bytes": row["inter_ipu_bytes"],
+                "inter_ipu_syncs": row["inter_ipu_syncs"],
+            },
+        )
+        for row in rows
+    )
+    labels = [f"{n} IPU{'s' if n > 1 else ''}" for n in CLUSTER_WIDTHS]
+    columns = [f"n={size}" for size in sizes]
+    cells = {
+        (f"{n} IPU{'s' if n > 1 else ''}", f"n={size}"):
+            device_by[(n, size)] * 1e3
+        for n in CLUSTER_WIDTHS
+        for size in sizes
+    }
+    table = format_grid(
+        f"Multi-IPU scaling (device ms, {chip_tiles}-tile chips, seed {seed})",
+        labels,
+        columns,
+        cells,
+        row_header="cluster",
+    )
+    notes = tuple(
+        (
+            f"{n} IPUs: compute overtakes inter-IPU overhead at n={size}"
+            if size is not None
+            else f"{n} IPUs: overhead-bound at every measured size "
+            "(crossover beyond the grid)"
+        )
+        for n, size in ((int(k), v) for k, v in sorted(crossover.items()))
+    ) + (
+        f"all {len(rows)} runs scipy-optimal "
+        f"({'OK' if all(r['optimal'] for r in rows) else 'CHECK'})",
+    )
+    return ExperimentResult("multi", scale.name, records, (table,), notes), document
+
+
+def run_multi_bench(
+    scale: BenchScale | None = None, *, seed: int = 0
+) -> ExperimentResult:
+    """CLI/report entry point (drops the raw document)."""
+    result, _ = run_multi(scale, seed=seed)
+    return result

@@ -21,6 +21,10 @@ per graph, before any superstep runs:
   tile, so a compute set whose per-tile static work (connected elements) is
   badly skewed wastes the machine.  ``C3.IMBALANCE`` flags max/mean ratios
   above a threshold (default 2.0; HunIPU's own compute sets are all 1.0).
+  On a multi-IPU device the same lint runs a second time at chip
+  granularity: ``C3.IPU_IMBALANCE`` flags a cluster whose per-chip work
+  totals are skewed even when every chip is internally balanced (the
+  cluster waits on its busiest chip at each external sync).
 * **C4 — dynamic-op misuse lint.**  Partition-and-distribute codelets
   (:attr:`~repro.ipu.codelets.Codelet.dynamic_access`) only make sense when
   each segment vertex *owns* its segment; a dynamic vertex whose
@@ -111,7 +115,7 @@ def check_graph(
     diagnostics: list[Diagnostic] = []
     for compute_set in compute_sets:
         diagnostics.extend(_check_races(compute_set))
-        diagnostics.extend(_check_balance(compute_set, config))
+        diagnostics.extend(_check_balance(compute_set, config, graph.spec))
         diagnostics.extend(_check_dynamic_ops(compute_set))
     diagnostics.extend(_check_memory(graph, compute_sets, config))
     return CheckReport(
@@ -328,34 +332,66 @@ def _check_memory(
 
 
 def _check_balance(
-    compute_set: ComputeSet, config: CheckConfig
+    compute_set: ComputeSet, config: CheckConfig, spec=None
 ) -> list[Diagnostic]:
-    """Static per-tile work skew (connected elements as the cost proxy)."""
+    """Static per-tile work skew (connected elements as the cost proxy).
+
+    With a multi-IPU ``spec`` the same statistic is additionally computed
+    at chip granularity: a compute set can be perfectly level inside each
+    chip yet leave one chip with far more total work, and the external
+    sync barrier makes the whole cluster wait on it (``C3.IPU_IMBALANCE``).
+    """
     per_tile: dict[int, int] = {}
     for vertex in compute_set.vertices:
         work = sum(conn.length for conn in vertex.connections.values())
         per_tile[vertex.tile] = per_tile.get(vertex.tile, 0) + work
-    if len(per_tile) < 2:
-        return []
-    peak = max(per_tile.values())
-    mean = sum(per_tile.values()) / len(per_tile)
-    if mean <= 0 or peak / mean <= config.imbalance_threshold:
-        return []
-    busiest = max(per_tile, key=per_tile.get)
-    return [
-        Diagnostic(
-            code="C3.IMBALANCE",
-            severity="warning",
-            message=(
-                f"static work is skewed {peak / mean:.2f}x over "
-                f"{len(per_tile)} tiles (threshold "
-                f"{config.imbalance_threshold:.2f}); the superstep waits on "
-                f"tile {busiest} with {peak} connected elements (C3)"
-            ),
-            compute_set=compute_set.name,
-            tile=busiest,
-        )
-    ]
+    diagnostics: list[Diagnostic] = []
+    if len(per_tile) >= 2:
+        peak = max(per_tile.values())
+        mean = sum(per_tile.values()) / len(per_tile)
+        if mean > 0 and peak / mean > config.imbalance_threshold:
+            busiest = max(per_tile, key=per_tile.get)
+            diagnostics.append(
+                Diagnostic(
+                    code="C3.IMBALANCE",
+                    severity="warning",
+                    message=(
+                        f"static work is skewed {peak / mean:.2f}x over "
+                        f"{len(per_tile)} tiles (threshold "
+                        f"{config.imbalance_threshold:.2f}); the superstep "
+                        f"waits on tile {busiest} with {peak} connected "
+                        "elements (C3)"
+                    ),
+                    compute_set=compute_set.name,
+                    tile=busiest,
+                )
+            )
+    if spec is not None and spec.num_ipus > 1:
+        per_chip: dict[int, int] = {}
+        for tile, work in per_tile.items():
+            chip = tile // spec.num_tiles
+            per_chip[chip] = per_chip.get(chip, 0) + work
+        if len(per_chip) >= 2:
+            peak = max(per_chip.values())
+            mean = sum(per_chip.values()) / len(per_chip)
+            if mean > 0 and peak / mean > config.imbalance_threshold:
+                busiest = max(per_chip, key=per_chip.get)
+                diagnostics.append(
+                    Diagnostic(
+                        code="C3.IPU_IMBALANCE",
+                        severity="warning",
+                        message=(
+                            f"static work is skewed {peak / mean:.2f}x over "
+                            f"{len(per_chip)} IPUs (threshold "
+                            f"{config.imbalance_threshold:.2f}); the cluster "
+                            f"waits on IPU {busiest} with {peak} connected "
+                            "elements at every external sync (C3)"
+                        ),
+                        compute_set=compute_set.name,
+                        tile=busiest * spec.num_tiles,
+                    )
+                )
+    return diagnostics
 
 
 # ----------------------------------------------------------------------

@@ -71,7 +71,7 @@ logger = logging.getLogger(__name__)
 
 _EXPERIMENTS = (
     "table1", "table2", "figure5", "table3", "ablations", "batch", "serve",
-    "stream",
+    "stream", "multi",
 )
 _SOLVERS = ("hunipu", "cpu", "fastha", "date-nagi", "lapjv", "scipy")
 _LOG_LEVELS = ("debug", "info", "warning", "error")
@@ -118,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", help="solve one synthetic LAP instance")
     _add_instance_args(solve)
     solve.add_argument("--solver", choices=_SOLVERS, default="hunipu")
+    solve.add_argument(
+        "--ipus",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the solve across N simulated IPUs behind IPU-Links "
+        "(hunipu solver only; n must be divisible by N to engage)",
+    )
     solve.add_argument(
         "--trace",
         type=pathlib.Path,
@@ -642,10 +650,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    ipus = getattr(args, "ipus", 1)
+    if ipus < 1:
+        print(f"error: --ipus must be >= 1 (got {ipus})", file=sys.stderr)
+        return 2
+    if ipus > 1 and args.solver != "hunipu":
+        print(
+            f"error: --ipus shards the simulated IPU solver and needs "
+            f"--solver hunipu (got {args.solver!r})",
+            file=sys.stderr,
+        )
+        return 2
 
     instance = _generate_instance(args)
     tracer = Tracer() if args.trace is not None else None
     solver_kwargs = {"tracer": tracer} if tracer is not None else {}
+    if ipus > 1:
+        from repro.ipu import ClusterSpec
+
+        solver_kwargs["spec"] = ClusterSpec.m2000(num_ipus=ipus).system()
     solver = _make_solver(args.solver, **solver_kwargs)
     if args.solver == "fastha" and not instance.is_power_of_two:
         result = solver.solve_padded(instance)
@@ -994,6 +1017,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_ablations,
         run_batch_bench,
         run_figure5,
+        run_multi_bench,
         run_serve_bench,
         run_stream_bench,
         run_table1,
@@ -1017,6 +1041,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "batch": lambda: run_batch_bench(scale),
         "serve": lambda: run_serve_bench(scale),
         "stream": lambda: run_stream_bench(scale),
+        "multi": lambda: run_multi_bench(scale),
     }
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     written: list[pathlib.Path] = []

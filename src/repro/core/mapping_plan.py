@@ -63,11 +63,34 @@ class MappingPlan:
         count) that divides ``n`` evenly, so each tile gets exactly
         ``n / tiles`` rows.  ``col_segment_size`` overrides the paper's 32
         for the segment-size ablation benchmark.
+
+        On a multi-IPU system (``spec.num_ipus > 1``) with ``n`` divisible
+        by the chip count, the decomposition is **chip-aligned**: every
+        chip owns the same contiguous band of ``n / num_ipus`` rows on the
+        same number of tiles, so per-chip work is exactly level and each
+        chip's row tiles are consecutive in ``row_tiles`` — the shape the
+        hierarchical (intra- then inter-IPU) reduces require.  Other sizes
+        fall back to the flat single-device split.
         """
         if size < 1:
             raise MappingError("matrix size must be positive")
         if col_segment_size < 1:
             raise MappingError("column segment size must be positive")
+        if spec.num_ipus > 1 and size % spec.num_ipus == 0:
+            rows_per_chip = size // spec.num_ipus
+            per_chip = min(spec.num_tiles, rows_per_chip)
+            while rows_per_chip % per_chip:
+                per_chip -= 1
+            return cls(
+                size=size,
+                row_tiles=tuple(
+                    chip * spec.num_tiles + tile
+                    for chip in range(spec.num_ipus)
+                    for tile in range(per_chip)
+                ),
+                rows_per_tile=rows_per_chip // per_chip,
+                col_segment_size=col_segment_size,
+            )
         tiles = min(size, spec.total_tiles)
         while size % tiles:
             tiles -= 1
@@ -103,11 +126,16 @@ class MappingPlan:
         return TileMapping.row_blocks((self.size, threads), self.row_tiles)
 
     def col_state_mapping(self) -> TileMapping:
-        """32-element segments for column state (§IV-E)."""
+        """32-element segments for column state (§IV-E).
+
+        Segments land on the row tiles in order — identical to the old
+        ``range(...)`` assignment on one chip (row tiles *are* 0..t−1
+        there), and spread across every chip of a sharded plan so column
+        state is partitioned like the rows are.
+        """
+        tiles = self.row_tiles[: self.num_col_segments] or self.row_tiles[:1]
         return TileMapping.linear_segments(
-            self.size,
-            self.col_segment_size,
-            range(min(self.num_col_segments, len(self.row_tiles)) or 1),
+            self.size, self.col_segment_size, tiles
         )
 
     def row_block(self, tile_index: int) -> tuple[int, int]:

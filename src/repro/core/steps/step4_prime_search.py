@@ -24,10 +24,12 @@ from repro.core.state import SolverState
 from repro.ipu.codelets import Codelet, CostContext
 from repro.ipu.graph import ComputeGraph
 from repro.ipu.mapping import TileMapping
+from repro.ipu.oplib import chip_slices
 from repro.ipu.programs import Execute, Program, Sequence
 
 __all__ = [
     "ZeroStatusScan",
+    "StatusArgmaxPartial",
     "StatusArgmaxFinal",
     "PrimeRowUpdate",
     "build_step4",
@@ -118,6 +120,33 @@ class ZeroStatusScan(Codelet):
         return np.ceil(work / cost.threads_per_tile) + np.asarray(
             cost.segmented(cost.scan_cycles(rows))
         )
+
+
+class StatusArgmaxPartial(Codelet):
+    """Per-chip combine of the tile winners (max status, lowest row on ties).
+
+    The intra-IPU stage of the hierarchical Step-4 reduction: each chip
+    folds its own tiles' ``[status, row, zero_col, star_col]`` partials
+    into one winner, on a tile of that chip, so only one 4-tuple per chip
+    ever crosses IPU-Links.  The order (status descending, row ascending)
+    is a total order over distinct rows, so composing this stage with
+    :class:`StatusArgmaxFinal` selects exactly the same row as the flat
+    single-stage arg-max — bit-identical control flow on every branch.
+    """
+
+    fields = {"partials": "in", "winner": "out"}
+
+    def compute_all(self, views, params, cost: CostContext) -> np.ndarray:
+        flat = views["partials"]
+        batch = flat.shape[0]
+        tiles = flat.shape[1] // 4
+        partials = flat.reshape(batch, tiles, 4)
+        size_bound = np.int64(partials[..., 1].max() + 2)
+        score = partials[..., 0].astype(np.int64) * (2 * size_bound) - partials[..., 1]
+        best = score.argmax(axis=1)
+        take = np.arange(batch)
+        views["winner"][...] = partials[take, best]
+        return np.full(batch, float(np.asarray(cost.scan_cycles(tiles * 4))))
 
 
 class StatusArgmaxFinal(Codelet):
@@ -228,11 +257,49 @@ def build_step4(
                 "full_scan": 0 if use_compression else 1,
             },
         )
+    slices = (
+        chip_slices(plan.row_tiles, graph.spec.num_tiles)
+        if graph.spec.num_ipus > 1
+        else None
+    )
+    if slices is not None and len(slices) > 1:
+        # Hierarchical arg-max (§IV-F on a cluster): each chip folds its own
+        # tiles' partials into one winner locally, so only one 4-tuple per
+        # chip crosses IPU-Links into the final stage.  The lexicographic
+        # order is associative over distinct rows — same selection, same
+        # branches, bit for bit.
+        ipu_partials = graph.add_tensor(
+            "step4/ipu_partials",
+            (len(slices), 4),
+            np.int32,
+            mapping=TileMapping.linear_segments(
+                len(slices) * 4,
+                4,
+                [plan.row_tiles[start] for _, start, _ in slices],
+            ),
+        )
+        cs_ipu = graph.add_compute_set("step4/argmax_ipu")
+        for index, (_, start, stop) in enumerate(slices):
+            cs_ipu.add_vertex(
+                StatusArgmaxPartial(),
+                plan.row_tiles[start],
+                {
+                    "partials": ComputeGraph.span(partials, start * 4, stop * 4),
+                    "winner": ComputeGraph.span(
+                        ipu_partials, index * 4, (index + 1) * 4
+                    ),
+                },
+            )
+        final_input = ipu_partials
+        stages = [Execute(cs_scan), Execute(cs_ipu), Execute(cs_final)]
+    else:
+        final_input = partials
+        stages = [Execute(cs_scan), Execute(cs_final)]
     cs_final.add_vertex(
         StatusArgmaxFinal(),
         0,
         {
-            "partials": ComputeGraph.full(partials),
+            "partials": ComputeGraph.full(final_input),
             "sel": ComputeGraph.full(state.sel),
             "max_status": ComputeGraph.full(state.max_status),
             "flag_update": ComputeGraph.full(state.flag_update),
@@ -240,7 +307,7 @@ def build_step4(
             "prime_count": ComputeGraph.full(state.prime_count),
         },
     )
-    return Sequence(Execute(cs_scan), Execute(cs_final))
+    return Sequence(*stages)
 
 
 def build_prime_update(

@@ -8,6 +8,7 @@ cost model.  Programs written against this package compute real results
 while accumulating modeled device time.
 """
 
+from repro.ipu.cluster import ClusterSpec
 from repro.ipu.codelets import Codelet, CostContext
 from repro.ipu.compiler import CompiledGraph, compile_graph
 from repro.ipu.engine import Engine
@@ -28,6 +29,7 @@ from repro.ipu.spec import IPUSpec
 from repro.ipu.tensor import Tensor
 
 __all__ = [
+    "ClusterSpec",
     "Codelet",
     "CostContext",
     "CompiledGraph",

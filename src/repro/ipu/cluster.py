@@ -1,0 +1,132 @@
+"""Multi-IPU cluster modeling: several chips behind IPU-Links.
+
+The paper's experiments run on one Colossus Mk2, but §III notes the
+exchange-fabric *addressing* extends across IPUs, and "Dissecting the
+Graphcore IPU Architecture via Microbenchmarking" characterizes the link
+fabric real multi-chip deployments (IPU-M2000, POD systems) actually use:
+an order of magnitude less bandwidth than the 8 TB/s on-chip exchange,
+microsecond-scale latency, and a distinct, more expensive global sync
+barrier.
+
+:class:`ClusterSpec` is the explicit constructor for such a system.  It
+wraps one per-chip :class:`~repro.ipu.spec.IPUSpec` plus the inter-IPU link
+cost model and flattens into the system-level ``IPUSpec`` every other layer
+(graph, compiler, engine, profiler) consumes — tiles stay flat-addressed
+(``tile // num_tiles`` is the chip), exchange and sync costs split into the
+intra- and inter-IPU components per superstep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ipu.spec import IPUSpec
+
+__all__ = [
+    "ClusterSpec",
+    "IPU_LINK_BANDWIDTH_BYTES_PER_S",
+    "IPU_LINK_LATENCY_S",
+    "IPU_LINK_SYNC_CYCLES",
+]
+
+#: Published Mk2 IPU-Link aggregate bandwidth per chip: 10 links x 32 GB/s.
+IPU_LINK_BANDWIDTH_BYTES_PER_S = 320e9
+#: Microsecond-scale IPU-Link transfer latency (microbenchmarking paper).
+IPU_LINK_LATENCY_S = 1.0e-6
+#: Extra cycles of the external (cross-chip) sync barrier vs the on-chip one.
+IPU_LINK_SYNC_CYCLES = 2000
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """≥1 simulated IPUs connected by an inter-IPU link cost model.
+
+    Attributes
+    ----------
+    chip:
+        The per-chip spec.  Must itself be single-IPU (``num_ipus == 1``);
+        the cluster is what multiplies chips.
+    num_ipus:
+        Chips in the cluster.
+    link_bandwidth_bytes_per_s:
+        Aggregate IPU-Link bandwidth per chip.  Cross-chip bytes of a
+        superstep's exchange are charged at this rate (vs the on-chip
+        fabric rate for intra-chip bytes).
+    link_latency_s:
+        Per-superstep latency paid once whenever at least one byte crosses
+        a chip boundary.
+    inter_sync_cycles:
+        Extra cycles of the external sync barrier a cross-chip superstep
+        pays on top of the on-chip ``sync_cycles``.
+    """
+
+    chip: IPUSpec = dataclasses.field(default_factory=IPUSpec.mk2)
+    num_ipus: int = 2
+    link_bandwidth_bytes_per_s: float = IPU_LINK_BANDWIDTH_BYTES_PER_S
+    link_latency_s: float = IPU_LINK_LATENCY_S
+    inter_sync_cycles: int = IPU_LINK_SYNC_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.chip.num_ipus != 1:
+            raise ValueError(
+                "ClusterSpec.chip must be a single-chip spec "
+                f"(got num_ipus={self.chip.num_ipus}); the cluster "
+                "multiplies chips itself"
+            )
+        if self.num_ipus < 1:
+            raise ValueError("a cluster needs at least one IPU")
+        if self.link_bandwidth_bytes_per_s <= 0:
+            raise ValueError("IPU-Link bandwidth must be positive")
+        if self.link_latency_s < 0:
+            raise ValueError("IPU-Link latency must be non-negative")
+        if self.inter_sync_cycles < 0:
+            raise ValueError("inter-IPU sync cycles must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Named configurations
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def m2000(cls, num_ipus: int = 4) -> "ClusterSpec":
+        """An IPU-M2000-style system: ``num_ipus`` Mk2 chips, stock links."""
+        return cls(chip=IPUSpec.mk2(), num_ipus=num_ipus)
+
+    @classmethod
+    def toy(
+        cls,
+        num_tiles: int = 4,
+        num_ipus: int = 2,
+        *,
+        threads_per_tile: int = 6,
+    ) -> "ClusterSpec":
+        """A tiny cluster for unit tests (toy chips, stock link model)."""
+        return cls(
+            chip=IPUSpec.toy(
+                num_tiles=num_tiles, threads_per_tile=threads_per_tile
+            ),
+            num_ipus=num_ipus,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def total_tiles(self) -> int:
+        return self.chip.num_tiles * self.num_ipus
+
+    def system(self) -> IPUSpec:
+        """Flatten into the system-level :class:`IPUSpec` the stack consumes.
+
+        Tiles are addressed flat across chips; the link parameters become
+        the spec's ``inter_ipu_*`` fields, which the compiler/engine use to
+        split every superstep's exchange and sync charges into intra- and
+        inter-IPU components.
+        """
+        return dataclasses.replace(
+            self.chip,
+            num_ipus=self.num_ipus,
+            inter_ipu_bandwidth_bytes_per_s=self.link_bandwidth_bytes_per_s,
+            inter_ipu_latency_s=self.link_latency_s,
+            inter_ipu_sync_cycles=self.inter_sync_cycles,
+        )

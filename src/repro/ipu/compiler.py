@@ -140,6 +140,9 @@ class ExecutionPlan:
     #: Static exchange bytes attributed to each tensor the compute set
     #: touches (values sum to ``exchange_bytes``).
     exchange_by_tensor: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Sorted chips this compute set runs vertices on (``tile // num_tiles``
+    #: per used tile).  ``(0,)`` on any single-IPU device.
+    ipus: tuple[int, ...] = (0,)
     _slot_keys: np.ndarray | None = dataclasses.field(default=None, repr=False)
     _single_slot_per_key: bool = dataclasses.field(default=False, repr=False)
 
@@ -412,6 +415,15 @@ def _check_write_overlaps(compute_set: ComputeSet) -> None:
 
 
 def _build_plan(compute_set: ComputeSet, spec: IPUSpec) -> ExecutionPlan:
+    plan = _build_plan_inner(compute_set, spec)
+    if spec.num_ipus > 1:
+        plan.ipus = tuple(
+            sorted({int(tile) // spec.num_tiles for tile in plan.tile_ids})
+        )
+    return plan
+
+
+def _build_plan_inner(compute_set: ComputeSet, spec: IPUSpec) -> ExecutionPlan:
     vertices = compute_set.vertices
     tiles_per_ipu = spec.num_tiles if spec.num_ipus > 1 else None
     splits = [vertex.exchange_bytes_split(tiles_per_ipu) for vertex in vertices]

@@ -260,6 +260,7 @@ class Engine:
             ),
         )
         if self._tracer.enabled:
+            extra = {"inter_ipu_bytes": inter} if spec.num_ipus > 1 else {}
             self._tracer.superstep(
                 name,
                 total_seconds=charge.total_seconds,
@@ -267,6 +268,7 @@ class Engine:
                 sync_seconds=charge.sync_seconds,
                 exchange_seconds=charge.exchange_seconds,
                 exchange_bytes=total,
+                **extra,
             )
         if self._metrics is not None:
             self._observe_superstep_metrics(name, total)
@@ -341,6 +343,13 @@ class Engine:
             )
         if self._tracer.enabled:
             peak, mean, imbalance = plan.tile_cycle_stats(cycles)
+            # Multi-IPU attribution only on clusters, so single-chip trace
+            # events (and golden traces) keep their exact historical shape.
+            extra = (
+                {"inter_ipu_bytes": plan.inter_ipu_bytes, "ipus": list(plan.ipus)}
+                if self.compiled.spec.num_ipus > 1
+                else {}
+            )
             self._tracer.superstep(
                 plan.compute_set.name,
                 total_seconds=charge.total_seconds,
@@ -352,6 +361,7 @@ class Engine:
                 max_tile_cycles=peak,
                 mean_tile_cycles=mean,
                 imbalance=imbalance,
+                **extra,
             )
         if self._metrics is not None:
             self._observe_superstep_metrics(

@@ -4,8 +4,9 @@ Poplar ships reusable operator libraries (reduce, sort, elementwise) that the
 paper's Steps 1, 2 and 6 lean on ("we apply the Poplar's reduce operation",
 §IV-C; "Poplar's sort operation", §IV-D).  This module is the simulator's
 equivalent: small stateless codelets with explicit cycle formulas, plus
-:func:`build_reduce`, the standard two-stage (per-tile partial → single-tile
-final) distributed reduction pattern.
+:func:`build_reduce`, the standard distributed reduction pattern: two-stage
+(per-tile partial → single-tile final) on one chip, three-stage (per-tile →
+per-IPU → global) when the partials span a multi-IPU cluster.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ __all__ = [
     "ScalarCompare",
     "ScalarBinaryCompare",
     "build_reduce",
+    "chip_slices",
 ]
 
 _REDUCE_OPS = {
@@ -259,6 +261,35 @@ class ScalarBinaryCompare(Codelet):
         return np.full(views["a"].shape[0], cost.cycles_per_alu_op)
 
 
+def chip_slices(
+    tiles: "list[int] | tuple[int, ...]", num_tiles_per_ipu: int
+) -> list[tuple[int, int, int]] | None:
+    """Group an ordered tile list into per-chip index slices.
+
+    Returns ``[(chip, start, stop), ...]`` where ``tiles[start:stop]`` all
+    live on ``chip`` (``tile // num_tiles_per_ipu``), or ``None`` when the
+    chips are interleaved (a chip's tiles are not consecutive in the list)
+    — the shape hierarchical reduces need each chip's partials contiguous.
+    """
+    slices: list[tuple[int, int, int]] = []
+    seen: set[int] = set()
+    start = 0
+    for index, tile in enumerate(tiles):
+        chip = tile // num_tiles_per_ipu
+        if not slices:
+            slices.append((chip, 0, 1))
+            seen.add(chip)
+        elif chip == slices[-1][0]:
+            slices[-1] = (chip, start, index + 1)
+        else:
+            if chip in seen:
+                return None  # interleaved — chip appears twice
+            start = index
+            slices.append((chip, start, index + 1))
+            seen.add(chip)
+    return slices
+
+
 def build_reduce(
     graph: ComputeGraph,
     source: Tensor,
@@ -268,13 +299,22 @@ def build_reduce(
     *,
     stage_tile: int = 0,
 ) -> Program:
-    """Two-stage distributed reduction of ``source`` into scalar ``out``.
+    """Distributed reduction of ``source`` into scalar ``out``.
 
     Stage 1 places one partial-reduce vertex on every tile that owns a piece
     of ``source`` (its result element is mapped to that same tile, so stage 1
-    is exchange-free).  Stage 2 reduces the partials vector on
+    is exchange-free).  On one chip, stage 2 reduces the partials vector on
     ``stage_tile``, paying exchange for the remote partials — the same
     pattern Poplar's ``popops::reduce`` lowers to for small outputs.
+
+    When the partials span several chips (and each chip's partials are
+    contiguous), the combine becomes **hierarchical**: an intra-IPU tree
+    stage (``{name}/ipu``) reduces each chip's partials on a tile of that
+    chip — on-chip exchange and an internal sync only — and the final
+    stage combines one value per chip on ``stage_tile``, the only superstep
+    that crosses IPU-Links.  min/max/sum over the solver's dtypes are
+    associative here (min/max always; the only summed tensors are integer
+    counts), so the grouping change is bit-identical to the flat reduce.
     """
     if out.size != 1:
         raise GraphConstructionError("reduce target must be a scalar tensor")
@@ -296,6 +336,43 @@ def build_reduce(
                 "data": Connection(source, interval.start, interval.stop),
                 "out": Connection(partials, index, index + 1),
             },
+        )
+    spec = graph.spec
+    slices = (
+        chip_slices([iv.tile for iv in intervals], spec.num_tiles)
+        if spec.num_ipus > 1
+        else None
+    )
+    if slices is not None and len(slices) > 1:
+        ipu_partials = graph.add_tensor(
+            f"{name}/ipu_partials",
+            (len(slices),),
+            source.dtype,
+            mapping=TileMapping.per_element(
+                [intervals[start].tile for _, start, _ in slices]
+            ),
+        )
+        stage_ipu = graph.add_compute_set(f"{name}/ipu")
+        for index, (_, start, stop) in enumerate(slices):
+            stage_ipu.add_vertex(
+                VecReduce(op),
+                intervals[start].tile,
+                {
+                    "data": Connection(partials, start, stop),
+                    "out": Connection(ipu_partials, index, index + 1),
+                },
+            )
+        stage_final = graph.add_compute_set(f"{name}/final")
+        stage_final.add_vertex(
+            VecReduce(op),
+            stage_tile,
+            {
+                "data": ComputeGraph.full(ipu_partials),
+                "out": ComputeGraph.full(out),
+            },
+        )
+        return Sequence(
+            Execute(stage1), Execute(stage_ipu), Execute(stage_final)
         )
     stage2 = graph.add_compute_set(f"{name}/final")
     stage2.add_vertex(

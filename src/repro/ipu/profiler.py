@@ -71,6 +71,10 @@ class StepRecord:
     exchange_seconds: float = 0.0
     exchange_bytes: int = 0
     inter_ipu_bytes: int = 0
+    #: Supersteps of this set that moved cross-chip bytes and therefore
+    #: paid the external (inter-IPU) sync barrier on top of the on-chip
+    #: one.  Always 0 on a single-IPU device.
+    inter_ipu_syncs: int = 0
     #: Raw charged compute cycles (pre-conversion), accumulated in
     #: execution order — the quantity the deep profiler's per-compute-set
     #: accounting must match bit-for-bit.
@@ -399,6 +403,8 @@ class ProfileReport:
     supersteps: int
     host_io_seconds: float
     compute_cycles: float = 0.0
+    #: Supersteps that paid the external (cross-chip) sync barrier.
+    inter_ipu_syncs: int = 0
     phase_compute_seconds: float | None = None
     phase_sync_seconds: float | None = None
     phase_exchange_seconds: float | None = None
@@ -620,6 +626,7 @@ class Profiler:
         self._detailed = detailed or tiles
         self._records: dict[str, StepRecord] = {}
         self._supersteps = 0
+        self._inter_syncs = 0
         self._host_io_seconds = 0.0
         self._agg_compute_cycles = 0.0
         self._agg_exchange_seconds = 0.0
@@ -645,6 +652,7 @@ class Profiler:
         """
         self._records.clear()
         self._supersteps = 0
+        self._inter_syncs = 0
         self._host_io_seconds = 0.0
         self._agg_compute_cycles = 0.0
         self._agg_exchange_seconds = 0.0
@@ -667,7 +675,11 @@ class Profiler:
         """Charge one BSP superstep: compute + sync + exchange.
 
         ``inter_ipu_bytes`` is the subset of the exchange crossing chip
-        boundaries (charged at IPU-Link bandwidth).  In deep mode the
+        boundaries (charged at IPU-Link bandwidth).  A superstep that
+        moves any cross-chip bytes additionally pays the *external* sync
+        barrier (``spec.inter_ipu_sync_extra_seconds()``) on top of the
+        on-chip one — purely local supersteps sync each chip independently
+        at the normal cost.  In deep mode the
         engine additionally passes the superstep's per-tile cycle totals
         (``tile_ids``/``tile_cycles``) and the compute set's static
         per-tensor exchange attribution.  Returns the charged phase
@@ -678,18 +690,24 @@ class Profiler:
         exchange_seconds = self._spec.exchange_seconds(
             exchange_bytes, inter_ipu_bytes
         )
+        inter_sync = inter_ipu_bytes > 0
         # Shared accumulation path: identical statements in identical
         # order for every profiling depth => bit-identical run totals.
         self._supersteps += 1
+        if inter_sync:
+            self._inter_syncs += 1
         self._agg_compute_cycles += compute_cycles
         self._agg_exchange_seconds += exchange_seconds
         self._agg_exchange_bytes += exchange_bytes
         self._agg_inter_ipu_bytes += inter_ipu_bytes
         if not self._detailed:
             return None
+        sync_seconds = self._spec.sync_seconds()
+        if inter_sync:
+            sync_seconds += self._spec.inter_ipu_sync_extra_seconds()
         charge = SuperstepCharge(
             compute_seconds=self._spec.cycles_to_seconds(compute_cycles),
-            sync_seconds=self._spec.sync_seconds(),
+            sync_seconds=sync_seconds,
             exchange_seconds=exchange_seconds,
         )
         record = self._records.setdefault(name, StepRecord(name))
@@ -699,6 +717,7 @@ class Profiler:
         record.exchange_seconds += charge.exchange_seconds
         record.exchange_bytes += exchange_bytes
         record.inter_ipu_bytes += inter_ipu_bytes
+        record.inter_ipu_syncs += int(inter_sync)
         record.compute_cycles += compute_cycles
         if self._tiles is not None:
             self._tiles.record(
@@ -722,14 +741,23 @@ class Profiler:
 
     def report(self) -> ProfileReport:
         """Snapshot the accumulated costs."""
+        # Multiplication (not per-superstep float accumulation) keeps the
+        # sync phase bit-identical across profiling depths; the external
+        # barrier surcharge is a second exact multiple.
+        phase_sync = self._supersteps * self._spec.sync_seconds()
+        if self._inter_syncs:
+            phase_sync += (
+                self._inter_syncs * self._spec.inter_ipu_sync_extra_seconds()
+            )
         header = {
             "supersteps": self._supersteps,
+            "inter_ipu_syncs": self._inter_syncs,
             "host_io_seconds": self._host_io_seconds,
             "compute_cycles": self._agg_compute_cycles,
             "phase_compute_seconds": self._spec.cycles_to_seconds(
                 self._agg_compute_cycles
             ),
-            "phase_sync_seconds": self._supersteps * self._spec.sync_seconds(),
+            "phase_sync_seconds": phase_sync,
             "phase_exchange_seconds": self._agg_exchange_seconds,
         }
         if not self._detailed:
@@ -741,6 +769,7 @@ class Profiler:
                 exchange_seconds=self._agg_exchange_seconds,
                 exchange_bytes=self._agg_exchange_bytes,
                 inter_ipu_bytes=self._agg_inter_ipu_bytes,
+                inter_ipu_syncs=self._inter_syncs,
                 compute_cycles=self._agg_compute_cycles,
             )
             return ProfileReport(

@@ -58,13 +58,28 @@ class IPUSpec:
     host_io_bandwidth_bytes_per_s:
         Host link bandwidth used by HostRead/HostWrite programs.
     num_ipus:
-        Chips in the system.  §III: "On a multi-IPU architecture, the
-        exchange fabric extends to all tiles on all of the IPUs" — tiles
-        are addressed flat across chips (``num_tiles`` is per chip), but
-        bytes crossing a chip boundary travel over IPU-Links, which are an
-        order of magnitude slower than the on-chip fabric.
+        Chips in the system.  §III claims "On a multi-IPU architecture, the
+        exchange fabric extends to all tiles on all of the IPUs" — which is
+        true only of the *addressing* model: tiles are addressed flat
+        across chips (``num_tiles`` is per chip), but bytes crossing a chip
+        boundary travel over IPU-Links, an order of magnitude slower and
+        with per-transfer latency, and a superstep that moves cross-chip
+        bytes pays the more expensive inter-IPU sync barrier.  The link
+        parameters below (defaulting to the published IPU-Link numbers)
+        are that model; :class:`repro.ipu.cluster.ClusterSpec` is the
+        explicit cluster-level constructor for them.
     inter_ipu_bandwidth_bytes_per_s:
         Aggregate IPU-Link bandwidth per chip (Mk2: 10 links × 32 GB/s).
+    inter_ipu_latency_s:
+        Per-superstep latency of an IPU-Link transfer, paid once whenever
+        a superstep moves at least one cross-chip byte ("Dissecting the
+        Graphcore IPU Architecture" measures microsecond-scale IPU-Link
+        latencies vs the on-chip fabric's cycle-scale setup).
+    inter_ipu_sync_cycles:
+        Extra cycles of the *external* (cross-chip) sync barrier, paid on
+        top of ``sync_cycles`` by every superstep that exchanges bytes
+        across chips.  The global barrier spans IPU-Links, so it is far
+        more expensive than the on-chip sync.
     """
 
     num_tiles: int = 1472
@@ -78,6 +93,8 @@ class IPUSpec:
     host_io_bandwidth_bytes_per_s: float = 32e9
     num_ipus: int = 1
     inter_ipu_bandwidth_bytes_per_s: float = 320e9
+    inter_ipu_latency_s: float = 1.0e-6
+    inter_ipu_sync_cycles: int = 2000
 
     def __post_init__(self) -> None:
         if self.num_tiles < 1:
@@ -94,6 +111,10 @@ class IPUSpec:
             raise ValueError("a system needs at least one IPU")
         if self.inter_ipu_bandwidth_bytes_per_s <= 0:
             raise ValueError("IPU-Link bandwidth must be positive")
+        if self.inter_ipu_latency_s < 0:
+            raise ValueError("IPU-Link latency must be non-negative")
+        if self.inter_ipu_sync_cycles < 0:
+            raise ValueError("inter-IPU sync cycles must be non-negative")
 
     # ------------------------------------------------------------------
     # Named configurations
@@ -161,20 +182,35 @@ class IPUSpec:
         """Time for one superstep's exchange phase.
 
         ``num_bytes`` travel the on-chip fabric; ``inter_ipu_bytes``
-        additionally cross chip boundaries over IPU-Links (much slower).
-        The two transfers overlap, so the phase costs the slower of them
-        plus the setup constant.
+        additionally cross chip boundaries over IPU-Links (much slower,
+        and with a per-transfer link latency).  The two transfers overlap,
+        so the phase costs the slower of them plus the setup constant.
         """
         if num_bytes <= 0 and inter_ipu_bytes <= 0:
             return 0.0
         setup = self.cycles_to_seconds(self.exchange_setup_cycles)
         on_chip = num_bytes / self.exchange_bandwidth_bytes_per_s
-        cross_chip = inter_ipu_bytes / self.inter_ipu_bandwidth_bytes_per_s
+        if inter_ipu_bytes > 0:
+            cross_chip = (
+                self.inter_ipu_latency_s
+                + inter_ipu_bytes / self.inter_ipu_bandwidth_bytes_per_s
+            )
+        else:
+            cross_chip = 0.0
         return setup + max(on_chip, cross_chip)
 
     def sync_seconds(self) -> float:
-        """Time for the synchronization phase of one superstep."""
+        """Time for the (on-chip) synchronization phase of one superstep."""
         return self.cycles_to_seconds(self.sync_cycles)
+
+    def inter_ipu_sync_extra_seconds(self) -> float:
+        """Extra barrier time of an *external* (cross-chip) superstep sync.
+
+        Charged on top of :meth:`sync_seconds` whenever a superstep moves
+        bytes between chips; purely on-chip supersteps sync each chip
+        independently and never pay it.
+        """
+        return self.cycles_to_seconds(self.inter_ipu_sync_cycles)
 
     def host_io_seconds(self, num_bytes: int) -> float:
         """Time for a host<->device transfer of ``num_bytes``."""

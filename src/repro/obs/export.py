@@ -25,6 +25,9 @@ schema                      produced by
                             imbalance series, per-tensor exchange bytes)
 ``repro.perf/1``            :mod:`repro.obs.perf` (benchmark trend store the
                             ``repro perf`` regression harness diffs against)
+``repro.multi/1``           :mod:`repro.bench.multi` (``BENCH_multi.json``:
+                            the 1/2/4-IPU scaling curve and the crossover
+                            point where inter-IPU sync overtakes compute)
 ==========================  ====================================================
 
 Beyond the schema-stamped documents, :func:`perfetto_from_documents` merges
@@ -64,7 +67,9 @@ __all__ = [
     "TILE_SCHEMA",
     "PERF_SCHEMA",
     "STREAM_SCHEMA",
+    "MULTI_SCHEMA",
     "validate_stream_document",
+    "validate_multi_document",
     "to_jsonable",
     "profile_report_to_dict",
     "profile_report_from_dict",
@@ -107,6 +112,7 @@ GOLDEN_SCHEMA = "repro.golden-trace/1"
 TILE_SCHEMA = "repro.tile-profile/1"
 PERF_SCHEMA = "repro.perf/1"
 STREAM_SCHEMA = "repro.stream/1"
+MULTI_SCHEMA = "repro.multi/1"
 SOLVE_REQUEST_SCHEMA = "repro.solve-request/1"
 SOLVE_RESPONSE_SCHEMA = "repro.solve-response/1"
 
@@ -174,6 +180,7 @@ def profile_report_to_dict(report: ProfileReport) -> dict[str, Any]:
         "device_seconds": report.device_seconds,
         "exchange_bytes": report.exchange_bytes,
         "inter_ipu_bytes": report.inter_ipu_bytes,
+        "inter_ipu_syncs": report.inter_ipu_syncs,
         "records": [
             {
                 field.name: getattr(record, field.name)
@@ -200,6 +207,7 @@ def profile_report_from_dict(document: Mapping[str, Any]) -> ProfileReport:
             exchange_seconds=float(row["exchange_seconds"]),
             exchange_bytes=int(row["exchange_bytes"]),
             inter_ipu_bytes=int(row["inter_ipu_bytes"]),
+            inter_ipu_syncs=int(row.get("inter_ipu_syncs", 0)),
             compute_cycles=float(row.get("compute_cycles", 0.0)),
         )
         for row in document["records"]
@@ -210,6 +218,7 @@ def profile_report_from_dict(document: Mapping[str, Any]) -> ProfileReport:
         supersteps=int(document["supersteps"]),
         host_io_seconds=float(document["host_io_seconds"]),
         compute_cycles=float(document.get("compute_cycles", 0.0)),
+        inter_ipu_syncs=int(document.get("inter_ipu_syncs", 0)),
         phase_compute_seconds=(
             float(phases["compute"]) if phases is not None else None
         ),
@@ -337,6 +346,9 @@ def spans_to_dict(
 #: Synthetic process ids of the merged timeline's two tracks.
 _PERFETTO_REQUEST_PID = 1
 _PERFETTO_ENGINE_PID = 2
+#: Engine-process thread ids: 1 is the superstep lane, 2 the straggler
+#: lane, and multi-IPU traces add one lane per chip starting here.
+_PERFETTO_IPU_TID_BASE = 3
 
 
 def _perfetto_meta(pid: int, name: str) -> dict[str, Any]:
@@ -365,7 +377,11 @@ def perfetto_from_documents(
       device timeline: slice ``k`` starts where slice ``k-1`` ended.  When
       the spans document contains an ``engine.run`` span the engine lane is
       offset to start at that span's start, linking the request tree to the
-      superstep slices it triggered.
+      superstep slices it triggered.  Multi-IPU traces (superstep events
+      carrying ``ipus``/``inter_ipu_bytes`` attribution) additionally get
+      one lane per chip — each superstep's slice mirrored into the lanes of
+      the chips it ran on — and an *inter-IPU exchange bytes* counter
+      tracking cross-chip traffic per superstep.
     * A ``repro.tile-profile/1`` document adds two more tracks on the
       engine process: a *straggler tiles* lane (one slice per compute
       superstep, named after the tile that gated it, lasting the compute
@@ -426,6 +442,8 @@ def perfetto_from_documents(
     if trace_document is not None:
         validate_trace(trace_document)
         cursor_s = engine_offset_s
+        ipu_lanes: set[int] = set()
+        inter_bytes_seen = False
         for event in trace_document["events"]:
             if event["kind"] != "superstep":
                 continue
@@ -447,7 +465,49 @@ def perfetto_from_documents(
                     "args": args,
                 }
             )
+            # Multi-IPU traces attribute each superstep to the chips it ran
+            # on: mirror the slice into one lane per chip so per-IPU
+            # occupancy reads directly off the timeline, and feed the
+            # cross-chip byte counter.
+            for chip in event.get("ipus", ()):
+                lane = _PERFETTO_IPU_TID_BASE + int(chip)
+                ipu_lanes.add(lane)
+                events.append(
+                    {
+                        "name": event["name"],
+                        "cat": "superstep",
+                        "ph": "X",
+                        "ts": cursor_s * 1e6,
+                        "dur": duration_s * 1e6,
+                        "pid": _PERFETTO_ENGINE_PID,
+                        "tid": lane,
+                        "args": {"ipu": int(chip)},
+                    }
+                )
+            if "inter_ipu_bytes" in event:
+                inter_bytes_seen = True
+                events.append(
+                    {
+                        "name": "inter-IPU exchange bytes",
+                        "ph": "C",
+                        "ts": cursor_s * 1e6,
+                        "pid": _PERFETTO_ENGINE_PID,
+                        "args": {"bytes": int(event["inter_ipu_bytes"])},
+                    }
+                )
             cursor_s += duration_s
+        if inter_bytes_seen:
+            # Close the counter series at zero so the last value does not
+            # extend past the end of the run.
+            events.append(
+                {
+                    "name": "inter-IPU exchange bytes",
+                    "ph": "C",
+                    "ts": cursor_s * 1e6,
+                    "pid": _PERFETTO_ENGINE_PID,
+                    "args": {"bytes": 0},
+                }
+            )
         events.append(_perfetto_meta(_PERFETTO_ENGINE_PID, "engine (modeled)"))
         events.append(
             {
@@ -458,6 +518,16 @@ def perfetto_from_documents(
                 "args": {"name": "BSP supersteps"},
             }
         )
+        for lane in sorted(ipu_lanes):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PERFETTO_ENGINE_PID,
+                    "tid": lane,
+                    "args": {"name": f"IPU {lane - _PERFETTO_IPU_TID_BASE}"},
+                }
+            )
 
     if tile_document is not None:
         validate_tile_profile(tile_document)
@@ -1115,6 +1185,85 @@ def validate_stream_document(document: Mapping[str, Any]) -> None:
     )
 
 
+def validate_multi_document(document: Mapping[str, Any]) -> None:
+    """Structural validation of a ``repro.multi/1`` document.
+
+    The multi-IPU scaling benchmark's export: one row per (IPU count,
+    problem size) with the BSP phase split and the inter-IPU overhead, plus
+    the crossover analysis.  Beyond key presence this enforces the claims
+    the document makes: single-IPU rows carry no cross-chip traffic, every
+    row's solve matched the scipy oracle, per-group sizes are strictly
+    increasing, and each reported crossover size actually appears in that
+    group's rows.
+    """
+    _require_keys(
+        document, ("schema", "meta", "rows", "crossover"), "multi"
+    )
+    _require(
+        document["schema"] == MULTI_SCHEMA,
+        "multi.schema",
+        f"expected {MULTI_SCHEMA!r}, got {document['schema']!r}",
+    )
+    _require_keys(
+        document["meta"], ("scale", "chip_tiles", "ipus", "sizes"), "multi.meta"
+    )
+    rows = document["rows"]
+    _require(
+        isinstance(rows, list) and len(rows) > 0,
+        "multi.rows",
+        "expected a non-empty list",
+    )
+    sizes_by_ipus: dict[int, list[int]] = {}
+    for index, row in enumerate(rows):
+        path = f"multi.rows[{index}]"
+        _require_keys(
+            row,
+            ("ipus", "size", "supersteps", "device_seconds",
+             "compute_seconds", "sync_seconds", "exchange_seconds",
+             "inter_ipu_bytes", "inter_ipu_syncs",
+             "inter_overhead_seconds", "optimal"),
+            path,
+        )
+        ipus = int(row["ipus"])
+        _require(ipus >= 1, f"{path}.ipus", "IPU count must be positive")
+        _require(int(row["size"]) >= 1, f"{path}.size", "size must be positive")
+        _require(
+            row["optimal"] is True,
+            f"{path}.optimal",
+            "row disagreed with the scipy oracle",
+        )
+        if ipus == 1:
+            _require(
+                int(row["inter_ipu_bytes"]) == 0
+                and int(row["inter_ipu_syncs"]) == 0,
+                f"{path}.inter_ipu_bytes",
+                "single-IPU rows cannot carry cross-chip traffic",
+            )
+        sizes_by_ipus.setdefault(ipus, []).append(int(row["size"]))
+    for ipus, sizes in sizes_by_ipus.items():
+        _require(
+            sizes == sorted(set(sizes)),
+            "multi.rows",
+            f"sizes for ipus={ipus} must be strictly increasing",
+        )
+    crossover = document["crossover"]
+    _require(
+        isinstance(crossover, Mapping), "multi.crossover", "expected an object"
+    )
+    for key, size in crossover.items():
+        path = f"multi.crossover[{key!r}]"
+        ipus = int(key)
+        _require(
+            ipus in sizes_by_ipus, path, f"no rows for ipus={ipus}"
+        )
+        if size is not None:
+            _require(
+                int(size) in sizes_by_ipus[ipus],
+                path,
+                f"crossover size {size} not among the rows for ipus={ipus}",
+            )
+
+
 def validate_spans(document: Mapping[str, Any]) -> None:
     """Structural validation of a ``repro.spans/1`` document.
 
@@ -1395,6 +1544,7 @@ _VALIDATORS = {
     TILE_SCHEMA: validate_tile_profile,
     PERF_SCHEMA: validate_perf_document,
     STREAM_SCHEMA: validate_stream_document,
+    MULTI_SCHEMA: validate_multi_document,
     SOLVE_REQUEST_SCHEMA: validate_solve_request,
     SOLVE_RESPONSE_SCHEMA: validate_solve_response,
 }

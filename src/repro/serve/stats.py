@@ -30,12 +30,16 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lower == upper:
         return float(values[lower])
     weight = position - lower
-    # lo + w*(hi - lo), not lo*(1-w) + hi*w: the two-product form can
+    # One-product lerp, not lo*(1-w) + hi*w: the two-product form can
     # round outside [lo, hi] when lo == hi (w*lo + (1-w)*lo need not
-    # re-sum to lo in floating point); this form is numpy's and is
-    # bounded by construction.
+    # re-sum to lo in floating point).  Anchor at the nearer endpoint
+    # like numpy's lerp does (w >= 0.5 interpolates back from hi):
+    # anchoring at the far end loses relative precision when the result
+    # is near the close end — e.g. q→100 with a large-magnitude lo.
     lo, hi = float(values[lower]), float(values[upper])
-    return lo + weight * (hi - lo)
+    if weight < 0.5:
+        return lo + weight * (hi - lo)
+    return hi - (hi - lo) * (1.0 - weight)
 
 
 def latency_summary(latencies: Sequence[float]) -> dict:

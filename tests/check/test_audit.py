@@ -51,6 +51,19 @@ class TestAuditSolver:
         assert 13 in DEFAULT_AUDIT_SIZES  # the remainder case stays covered
 
 
+class TestAuditMultiIPU:
+    def test_sharded_solver_graphs_pass_strict(self):
+        """Every graph the sharded multi-IPU solver builds — hierarchical
+        reduces included — passes the full checker with zero findings."""
+        from repro.ipu.cluster import ClusterSpec
+
+        spec = ClusterSpec.toy(num_tiles=4, num_ipus=2).system()
+        entries = audit_solver(sizes=(8,), spec=spec, include_batch=False)
+        assert entries
+        for entry in entries:
+            assert entry.report.clean, entry.report.format_text()
+
+
 class TestAuditEngineModes:
     def test_modes_produce_identical_findings(self):
         reports = audit_engine_modes(8)

@@ -221,6 +221,79 @@ class TestBalanceLint:
         assert check_graph(graph).clean
 
 
+class TestIPUImbalanceLint:
+    """C3.IPU_IMBALANCE: per-chip work skew on multi-IPU systems."""
+
+    def _skewed_cluster_graph(self):
+        """Tiles level enough individually, but chip 0 carries 8x chip 1."""
+        from repro.ipu.cluster import ClusterSpec
+
+        spec = ClusterSpec.toy(num_tiles=4, num_ipus=2).system()
+        graph = ComputeGraph(spec)
+        tensor = graph.add_tensor(
+            "v", (45,), np.float32,
+            mapping=TileMapping.single_tile(45, tile=7),
+        )
+        cs = graph.add_compute_set("chip_skewed")
+        reader = _Reader()
+        # Chip 0 (tiles 0-3): 10 elements each; chip 1 (tile 4): 5.
+        for tile in range(4):
+            cs.add_vertex(
+                reader, tile,
+                {"data": ComputeGraph.span(tensor, tile * 10, tile * 10 + 10)},
+            )
+        cs.add_vertex(reader, 4, {"data": ComputeGraph.span(tensor, 40, 45)})
+        return graph
+
+    def test_chip_skew_flagged(self):
+        graph = self._skewed_cluster_graph()
+        # Tile ratio is 10/9; chip ratio is 40/22.5 — only the chip-level
+        # statistic crosses a 1.5x threshold.
+        report = check_graph(graph, config=CheckConfig(imbalance_threshold=1.5))
+        codes = [diag.code for diag in report.warnings]
+        assert codes == ["C3.IPU_IMBALANCE"]
+        (diag,) = report.warnings
+        assert diag.severity == "warning"
+        assert diag.compute_set == "chip_skewed"
+        assert diag.tile == 0  # first tile of the overloaded chip
+        assert "IPU 0" in diag.message
+        assert report.ok  # lint only
+
+    def test_default_threshold_keeps_it_quiet(self):
+        graph = self._skewed_cluster_graph()
+        assert check_graph(graph).clean
+
+    def test_single_chip_never_emits_ipu_code(self, toy_spec):
+        graph = ComputeGraph(toy_spec)
+        tensor = graph.add_tensor(
+            "v", (64,), np.float32,
+            mapping=TileMapping.single_tile(64, tile=3),
+        )
+        cs = graph.add_compute_set("skewed")
+        reader = _Reader()
+        cs.add_vertex(reader, 0, {"data": ComputeGraph.span(tensor, 0, 60)})
+        cs.add_vertex(reader, 1, {"data": ComputeGraph.span(tensor, 60, 64)})
+        report = check_graph(graph, config=CheckConfig(imbalance_threshold=1.5))
+        assert all(d.code != "C3.IPU_IMBALANCE" for d in report.warnings)
+
+    def test_balanced_cluster_clean(self):
+        from repro.ipu.cluster import ClusterSpec
+
+        spec = ClusterSpec.toy(num_tiles=2, num_ipus=2).system()
+        graph = ComputeGraph(spec)
+        tensor = graph.add_tensor(
+            "v", (16,), np.float32, mapping=TileMapping.single_tile(16)
+        )
+        cs = graph.add_compute_set("even")
+        reader = _Reader()
+        for tile in range(4):
+            cs.add_vertex(
+                reader, tile,
+                {"data": ComputeGraph.span(tensor, tile * 4, tile * 4 + 4)},
+            )
+        assert check_graph(graph, config=CheckConfig(imbalance_threshold=1.1)).clean
+
+
 class TestDynamicOpLint:
     def test_foreign_segment_flagged(self, toy_spec):
         graph = ComputeGraph(toy_spec)

@@ -1,0 +1,168 @@
+"""Differential tests: sharded multi-IPU solving is bit-identical to
+single-IPU (and scipy-optimal).
+
+The hierarchical two-level reduces (Steps 2/4/6) regroup associative
+combines over chips, so every per-vertex value — dual potentials, slacks,
+covers, the chosen prime — must come out *exactly* equal to the flat
+single-chip path, not merely lead to an equal-cost assignment.  These
+tests pin that equivalence across sizes, cluster widths, rectangular
+shapes, and the committed golden trace.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.solver import HunIPUSolver
+from repro.ipu.cluster import ClusterSpec
+from repro.ipu.spec import IPUSpec
+from repro.lap import solve_rectangular
+from repro.lap.problem import LAPInstance
+
+
+def _single(num_tiles: int) -> HunIPUSolver:
+    return HunIPUSolver(spec=IPUSpec.toy(num_tiles=num_tiles))
+
+
+def _cluster(num_tiles: int, num_ipus: int) -> HunIPUSolver:
+    return HunIPUSolver(
+        spec=ClusterSpec.toy(num_tiles=num_tiles, num_ipus=num_ipus).system()
+    )
+
+
+class TestShardedBitIdentity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.sampled_from([4, 8, 12, 16, 24]),
+        num_ipus=st.sampled_from([2, 4]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_sharded_matches_single_ipu_and_scipy(self, n, num_ipus, seed):
+        """Same assignment, same cost bits, scipy-optimal, any shard count."""
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(1, 100, (n, n))
+        single = _single(4).solve(LAPInstance(costs))
+        sharded = _cluster(2, num_ipus).solve(LAPInstance(costs))
+        assert np.array_equal(single.assignment, sharded.assignment)
+        assert single.total_cost == sharded.total_cost  # bitwise, no approx
+        rows, cols = linear_sum_assignment(costs)
+        assert sharded.total_cost == pytest.approx(
+            float(costs[rows, cols].sum()), abs=1e-7
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        r=st.integers(3, 10),
+        c=st.integers(3, 10),
+        seed=st.integers(0, 1000),
+    )
+    def test_rectangular_sharded_matches_single(self, r, c, seed):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(1, 50, (r, c))
+        pairs_one, cost_one = solve_rectangular(_single(4), costs)
+        pairs_multi, cost_multi = solve_rectangular(_cluster(2, 2), costs)
+        assert np.array_equal(pairs_one, pairs_multi)
+        assert cost_one == cost_multi
+        rows, cols = linear_sum_assignment(costs)
+        assert cost_multi == pytest.approx(float(costs[rows, cols].sum()), abs=1e-7)
+
+    def test_iteration_structure_identical(self):
+        """Not just the answer: the superstep-level control flow agrees."""
+        rng = np.random.default_rng(11)
+        costs = rng.uniform(1, 80, (16, 16))
+        one = _single(4).solve(LAPInstance(costs))
+        two = _cluster(2, 2).solve(LAPInstance(costs))
+        for key in ("augmentations", "slack_updates", "primes", "iterations"):
+            got_one = one.stats.get(key, getattr(one, key, None))
+            got_two = two.stats.get(key, getattr(two, key, None))
+            assert got_one == got_two, key
+
+
+class TestSingleIPUClusterGolden:
+    def test_one_ipu_cluster_reproduces_golden_trace(self):
+        """ClusterSpec(num_ipus=1).system() is the chip: the committed
+        golden fingerprint must reproduce exactly through the cluster
+        constructor, default spec edition."""
+        from repro.data.synthetic import gaussian_instance
+        from repro.obs.trace import Tracer
+
+        golden = json.loads(
+            (Path(__file__).parent.parent / "golden" / "golden_trace.json").read_text()
+        )
+        spec = ClusterSpec(num_ipus=1).system()  # one Mk2 behind the wrapper
+        tracer = Tracer()
+        solver = HunIPUSolver(spec=spec, tracer=tracer)
+        result = solver.solve(gaussian_instance(16, 10, seed=42))
+        current = json.loads(
+            json.dumps(
+                {
+                    "total_cost": result.total_cost,
+                    "supersteps": result.stats["supersteps"],
+                    "augmentations": result.stats["augmentations"],
+                    "slack_updates": result.stats["slack_updates"],
+                    "primes": result.stats["primes"],
+                    "loops": tracer.loop_stats(),
+                    "branches": tracer.branch_stats(),
+                }
+            )
+        )
+        for key, value in current.items():
+            assert golden[key] == value, key
+
+
+class TestHierarchicalStep4:
+    def test_sharded_graph_has_ipu_argmax_stage(self):
+        solver = _cluster(2, 2)
+        compiled = solver.compiled_for(8)
+        names = [cs.name for cs in compiled.graph.compute_sets]
+        assert "step4/argmax_ipu" in names
+        assert "step4/argmax_final" in names
+
+    def test_single_chip_graph_has_no_ipu_stage(self):
+        solver = _single(4)
+        compiled = solver.compiled_for(8)
+        names = [cs.name for cs in compiled.graph.compute_sets]
+        assert "step4/argmax_ipu" not in names
+
+    def test_hierarchical_reduce_tensors_present(self):
+        compiled = _cluster(2, 2).compiled_for(8)
+        tensor_names = [t.name for t in compiled.graph.tensors]
+        assert any(name.endswith("/ipu_partials") for name in tensor_names)
+
+
+class TestChipAlignedSharding:
+    def test_rows_land_on_both_chips(self):
+        from repro.core.mapping_plan import MappingPlan
+
+        spec = ClusterSpec.toy(num_tiles=4, num_ipus=2).system()
+        plan = MappingPlan.for_size(16, spec)
+        chips = {tile // spec.num_tiles for tile in plan.row_tiles}
+        assert chips == {0, 1}
+
+    def test_chip_bands_are_contiguous(self):
+        """Each chip owns one contiguous row band (what the hierarchical
+        reduce's chip_slices grouping requires)."""
+        from repro.core.mapping_plan import MappingPlan
+        from repro.ipu.oplib import chip_slices
+
+        spec = ClusterSpec.toy(num_tiles=4, num_ipus=4).system()
+        plan = MappingPlan.for_size(32, spec)
+        slices = chip_slices(list(plan.row_tiles), spec.num_tiles)
+        assert slices is not None
+        assert len(slices) == 4
+
+    def test_indivisible_size_still_solves(self):
+        """n not divisible by the cluster width falls back to a flat
+        split but must still reach the optimum."""
+        rng = np.random.default_rng(5)
+        costs = rng.uniform(1, 40, (9, 9))  # 9 % 2 != 0
+        result = _cluster(2, 2).solve(LAPInstance(costs))
+        rows, cols = linear_sum_assignment(costs)
+        assert result.total_cost == pytest.approx(
+            float(costs[rows, cols].sum()), abs=1e-7
+        )

@@ -555,3 +555,147 @@ class TestGoldenTraceSchema:
         document["supersteps"] = 0
         with pytest.raises(SchemaError, match="positive"):
             validate_document(document)
+
+
+def _multi_document():
+    """A minimal valid ``repro.multi/1`` document."""
+    def row(ipus, size, inter_bytes, inter_syncs):
+        return {
+            "ipus": ipus,
+            "size": size,
+            "supersteps": 100 * size,
+            "device_seconds": 1e-3 * size,
+            "compute_seconds": 4e-4 * size,
+            "sync_seconds": 3e-4 * size,
+            "exchange_seconds": 3e-4 * size,
+            "inter_ipu_bytes": inter_bytes,
+            "inter_ipu_syncs": inter_syncs,
+            "inter_overhead_seconds": 1e-6 * inter_syncs,
+            "optimal": True,
+        }
+
+    return {
+        "schema": "repro.multi/1",
+        "meta": {"scale": "quick", "chip_tiles": 8, "ipus": [1, 2], "sizes": [16, 32]},
+        "rows": [
+            row(1, 16, 0, 0),
+            row(1, 32, 0, 0),
+            row(2, 16, 4096, 900),
+            row(2, 32, 16384, 3600),
+        ],
+        "crossover": {"2": 32},
+    }
+
+
+class TestMultiExport:
+    def test_valid_document(self):
+        assert validate_document(_multi_document()) == "repro.multi/1"
+
+    def test_null_crossover_accepted(self):
+        document = _multi_document()
+        document["crossover"] = {"2": None}
+        validate_document(document)
+
+    def test_missing_row_key_rejected(self):
+        document = _multi_document()
+        del document["rows"][0]["inter_overhead_seconds"]
+        with pytest.raises(SchemaError, match="inter_overhead_seconds"):
+            validate_document(document)
+
+    def test_suboptimal_row_rejected(self):
+        document = _multi_document()
+        document["rows"][3]["optimal"] = False
+        with pytest.raises(SchemaError, match="oracle"):
+            validate_document(document)
+
+    def test_single_ipu_cross_chip_traffic_rejected(self):
+        document = _multi_document()
+        document["rows"][0]["inter_ipu_bytes"] = 64
+        with pytest.raises(SchemaError, match="cross-chip"):
+            validate_document(document)
+
+    def test_unsorted_sizes_rejected(self):
+        document = _multi_document()
+        document["rows"][0], document["rows"][1] = (
+            document["rows"][1],
+            document["rows"][0],
+        )
+        with pytest.raises(SchemaError, match="increasing"):
+            validate_document(document)
+
+    def test_crossover_for_unknown_group_rejected(self):
+        document = _multi_document()
+        document["crossover"]["4"] = 16
+        with pytest.raises(SchemaError, match="no rows"):
+            validate_document(document)
+
+    def test_crossover_size_not_in_rows_rejected(self):
+        document = _multi_document()
+        document["crossover"]["2"] = 48
+        with pytest.raises(SchemaError, match="not among"):
+            validate_document(document)
+
+
+class TestPerfettoIPULanes:
+    def _multi_trace_document(self):
+        """Trace a real 2-chip solve so supersteps carry ipus/inter bytes."""
+        import numpy as np
+
+        from repro.core.solver import HunIPUSolver
+        from repro.ipu.cluster import ClusterSpec
+        from repro.lap.problem import LAPInstance
+
+        tracer = Tracer()
+        solver = HunIPUSolver(
+            spec=ClusterSpec.toy(num_tiles=2, num_ipus=2).system(),
+            tracer=tracer,
+        )
+        rng = np.random.default_rng(2)
+        result = solver.solve(LAPInstance(rng.uniform(1, 30, (8, 8))))
+        return trace_to_dict(tracer, result.stats["profile"])
+
+    def test_one_lane_per_ipu(self):
+        perfetto = perfetto_from_documents(
+            trace_document=self._multi_trace_document()
+        )
+        validate_perfetto(perfetto)
+        events = perfetto["traceEvents"]
+        lane_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"IPU 0", "IPU 1"} <= lane_names
+        # The mirrored slices attribute each superstep to its chips.
+        ipu_slices = [
+            e for e in events if e["ph"] == "X" and "ipu" in e.get("args", {})
+        ]
+        assert {e["args"]["ipu"] for e in ipu_slices} == {0, 1}
+
+    def test_inter_ipu_byte_counter_emitted_and_closed(self):
+        perfetto = perfetto_from_documents(
+            trace_document=self._multi_trace_document()
+        )
+        counters = [
+            e
+            for e in perfetto["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "inter-IPU exchange bytes"
+        ]
+        assert counters
+        assert any(e["args"]["bytes"] > 0 for e in counters)
+        assert counters[-1]["args"]["bytes"] == 0  # series closed at zero
+
+    def test_single_ipu_trace_has_no_lanes_or_counter(self, report):
+        tracer = Tracer()
+        tracer.superstep("step1/a", total_seconds=0.1, compute_seconds=0.05)
+        tracer.superstep("step6/b", total_seconds=0.2, compute_seconds=0.1)
+        perfetto = perfetto_from_documents(
+            trace_document=trace_to_dict(tracer, report)
+        )
+        events = perfetto["traceEvents"]
+        assert not any(
+            e["ph"] == "M" and e["args"].get("name", "").startswith("IPU ")
+            for e in events
+            if e["name"] == "thread_name"
+        )
+        assert not any(e["ph"] == "C" for e in events)

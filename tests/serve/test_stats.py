@@ -110,3 +110,13 @@ class TestLatencySummary:
             assert summary[key] == pytest.approx(
                 _numpy_linear(values, q), rel=1e-9, abs=1e-9
             )
+
+
+class TestLerpAnchoring:
+    def test_near_100_with_large_magnitude_matches_numpy(self):
+        """Regression: q→100 over [-(2^24+1), 0] — the far-anchored lerp
+        lost half the relative precision; numpy anchors at the nearer
+        endpoint and so do we."""
+        values = [0.0, -16777217.0]
+        q = 99.99999999999999
+        assert percentile(values, q) == _numpy_linear(values, q)
